@@ -1,0 +1,106 @@
+// Command er compiles and runs minc programs, and reproduces their
+// failures through the full Execution Reconstruction loop.
+//
+// Usage:
+//
+//	er run prog.minc         tag=1,2,3 tag2=4 ... run once, report outcome
+//	er reproduce prog.minc   tag=1,2,3 ...        ER loop on the failing input
+//	er constraints prog.minc tag=1,2,3 ...        dump the failing run's path
+//	                                              constraint as SMT-LIB 2
+//
+// Input streams are given as tag=v1,v2,... arguments.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"execrecon"
+	"execrecon/internal/expr"
+	"execrecon/internal/symex"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: er run|reproduce|constraints <prog.minc> [tag=v1,v2,...]...")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, path := os.Args[1], os.Args[2]
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := er.Compile(path, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	w := er.NewWorkload()
+	for _, arg := range os.Args[3:] {
+		tag, vals, ok := strings.Cut(arg, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad input argument %q (want tag=v1,v2,...)", arg))
+		}
+		for _, vs := range strings.Split(vals, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(vs), 0, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad value %q in %q", vs, arg))
+			}
+			w.Add(tag, v)
+		}
+	}
+
+	switch cmd {
+	case "run":
+		res := er.Run(mod, w, 1)
+		fmt.Printf("instructions: %d\n", res.Stats.Instrs)
+		if len(res.Output) > 0 {
+			fmt.Printf("output: %v\n", res.Output)
+		}
+		if res.Failure != nil {
+			fmt.Printf("FAILURE: %v\n", res.Failure)
+			os.Exit(1)
+		}
+		fmt.Println("exited cleanly")
+	case "reproduce":
+		rep, err := er.Reproduce(mod, w, 1, er.Options{Log: os.Stderr})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(er.Describe(rep))
+		if rep.Reproduced {
+			fmt.Println("generated test case:")
+			for tag, vals := range rep.TestCase.Streams {
+				fmt.Printf("  %s = %v\n", tag, vals)
+			}
+		}
+	case "constraints":
+		tr, res, err := er.RecordTrace(mod, w, 1)
+		if err != nil {
+			fatal(err)
+		}
+		if res.Failure == nil {
+			fatal(fmt.Errorf("the given input does not fail; nothing to reconstruct"))
+		}
+		fmt.Fprintf(os.Stderr, "; failure: %v\n", res.Failure)
+		sres := symex.New(mod, tr, res.Failure, symex.Options{}).Run("main")
+		if sres.Status != symex.StatusCompleted && sres.Status != symex.StatusStalled {
+			fatal(fmt.Errorf("symbolic execution %v: %v", sres.Status, sres.Err))
+		}
+		if err := expr.WriteSMTLIB(os.Stdout, sres.PathConstraint); err != nil {
+			fatal(err)
+		}
+	default:
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "er:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command ertrace records one monitored execution of a minc program
+// and prints the decoded PT-like packet stream — the raw material ER's
+// analysis engine consumes.
+//
+// Usage:
+//
+//	ertrace prog.minc [tag=v1,v2,...]...
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"execrecon"
+	"execrecon/internal/pt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: ertrace <prog.minc> [tag=v1,v2,...]...")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := er.Compile(os.Args[1], string(src))
+	if err != nil {
+		fatal(err)
+	}
+	w := er.NewWorkload()
+	for _, arg := range os.Args[2:] {
+		tag, vals, ok := strings.Cut(arg, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad input argument %q", arg))
+		}
+		for _, vs := range strings.Split(vals, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(vs), 0, 64)
+			if err != nil {
+				fatal(err)
+			}
+			w.Add(tag, v)
+		}
+	}
+	tr, res, err := er.RecordTrace(mod, w, 1)
+	if err != nil {
+		fatal(err)
+	}
+	if res.Failure != nil {
+		fmt.Printf("# run failed: %v\n", res.Failure)
+	} else {
+		fmt.Println("# run exited cleanly")
+	}
+	fmt.Printf("# %d instructions, %d events\n", res.Stats.Instrs, len(tr.Events))
+	var tnt strings.Builder
+	flush := func() {
+		if tnt.Len() > 0 {
+			fmt.Printf("TNT  %s\n", tnt.String())
+			tnt.Reset()
+		}
+	}
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case pt.EvTNT:
+			if ev.Taken {
+				tnt.WriteByte('1')
+			} else {
+				tnt.WriteByte('0')
+			}
+			if tnt.Len() == 64 {
+				flush()
+			}
+		case pt.EvTIP:
+			flush()
+			fmt.Printf("TIP  target=%d\n", ev.Target)
+		case pt.EvPTW:
+			flush()
+			fmt.Printf("PTW  key=%d width=%d value=%d\n", ev.Key, ev.WidthBits, ev.Value)
+		case pt.EvChunk:
+			flush()
+			fmt.Printf("CHNK tid=%d ts=%d\n", ev.Tid, ev.Timestamp)
+		case pt.EvPGD:
+			flush()
+			fmt.Printf("PGD  count=%d\n", ev.Count)
+		case pt.EvEnd:
+			flush()
+			fmt.Println("END")
+		}
+	}
+	flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ertrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,184 @@
+// Package er is the public facade of the Execution Reconstruction
+// library — a Go reproduction of "Execution Reconstruction:
+// Harnessing Failure Reoccurrences for Failure Reproduction"
+// (PLDI 2021).
+//
+// The library reproduces production failures from hardware-style
+// control-flow traces: programs written in the bundled mini-C dialect
+// (minc) run on a deterministic virtual machine whose conditional
+// branches, indirect calls, returns, and scheduling boundaries stream
+// into a PT-like ring buffer. When a run fails, shepherded symbolic
+// execution follows the trace, and — when the constraint solver
+// stalls — key data value selection picks a minimal set of values to
+// record via ptwrite instrumentation on the next failure
+// reoccurrence, iterating until a concrete, verified,
+// failure-reproducing test case is generated.
+//
+// Quick start:
+//
+//	mod, err := er.Compile("demo", src)          // minc → IR
+//	report, err := er.Reproduce(mod, failing, 1, er.Options{})
+//	if report.Reproduced {
+//	    fmt.Println(report.TestCase.Streams)     // generated inputs
+//	}
+//
+// The subsystems are importable directly for finer control:
+// internal/vm (the machine), internal/pt (traces), internal/symex
+// (shepherded symbolic execution), internal/keyselect (key data value
+// selection), internal/core (the iterative loop), internal/bench (the
+// paper's experiments).
+package er
+
+import (
+	"fmt"
+	"io"
+
+	"execrecon/internal/core"
+	"execrecon/internal/invariants"
+	"execrecon/internal/ir"
+	"execrecon/internal/minc"
+	"execrecon/internal/pt"
+	"execrecon/internal/symex"
+	"execrecon/internal/vm"
+)
+
+// Re-exported core types. Module is the compiled program; Workload
+// supplies program inputs (and is the shape of generated test cases);
+// Failure is a failure signature; Report describes a reproduction
+// session.
+type (
+	// Module is a compiled program in the library's register IR.
+	Module = ir.Module
+	// Workload is a set of per-tag input streams.
+	Workload = vm.Workload
+	// Failure is a failure signature (kind, program counter, stack).
+	Failure = vm.Failure
+	// Report is the outcome of a reproduction session.
+	Report = core.Report
+	// RunResult is the outcome of one concrete execution.
+	RunResult = vm.Result
+	// Trace is a decoded control-flow/data trace.
+	Trace = pt.Trace
+	// Observation is one invariant-engine program-point sample.
+	Observation = invariants.Obs
+	// InvariantSet is a set of likely invariants.
+	InvariantSet = invariants.Set
+	// Violation is an invariant broken by a failing run.
+	Violation = invariants.Violation
+)
+
+// Options tunes a reproduction session.
+type Options struct {
+	// QueryBudget bounds each solver query in abstract steps — the
+	// analog of the paper's 30-second solver timeout. 0 means
+	// unlimited (no stalls, single-occurrence reproduction whenever
+	// the solver can finish).
+	QueryBudget int64
+	// MaxIterations bounds the reoccurrence loop (default 16).
+	MaxIterations int
+	// RingSize is the trace buffer capacity (default 64 MB).
+	RingSize int
+	// Log receives progress lines when set.
+	Log io.Writer
+}
+
+// Compile translates minc source into an executable module.
+func Compile(name, src string) (*Module, error) {
+	return minc.Compile(name, src)
+}
+
+// NewWorkload returns an empty workload; use Add to fill streams.
+func NewWorkload() *Workload { return vm.NewWorkload() }
+
+// Run executes the module's main function once, without monitoring.
+func Run(mod *Module, w *Workload, seed int64) *RunResult {
+	return vm.New(mod, vm.Config{Input: w, Seed: seed}).Run("main")
+}
+
+// RecordTrace executes one monitored run, returning the decoded trace
+// and the run result. This is what ER's always-on tracing ships to
+// the analysis engine when the run fails.
+func RecordTrace(mod *Module, w *Workload, seed int64) (*Trace, *RunResult, error) {
+	ring := pt.NewRing(pt.DefaultRingSize)
+	enc := pt.NewEncoder(ring)
+	res := vm.New(mod, vm.Config{Input: w, Seed: seed, Tracer: enc}).Run("main")
+	enc.Finish()
+	tr, err := pt.Decode(ring)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, res, nil
+}
+
+// Reproduce runs the full iterative ER loop against a fixed failing
+// workload (the simplest reoccurrence model: every production run
+// replays this workload). It returns the report with the generated,
+// verified test case on success.
+func Reproduce(mod *Module, failing *Workload, seed int64, opts Options) (*Report, error) {
+	return ReproduceWith(mod, &core.FixedWorkload{Workload: failing, Seed: seed}, opts)
+}
+
+// Generator produces the workload and scheduler seed of each
+// production run, for reoccurrence models richer than a fixed input.
+type Generator = core.WorkloadGen
+
+// ReproduceWith runs the ER loop with a custom production-run
+// generator.
+func ReproduceWith(mod *Module, gen Generator, opts Options) (*Report, error) {
+	return core.Reproduce(core.Config{
+		Module:        mod,
+		Gen:           gen,
+		Symex:         symex.Options{QueryBudget: opts.QueryBudget},
+		MaxIterations: opts.MaxIterations,
+		RingSize:      opts.RingSize,
+		Log:           opts.Log,
+	})
+}
+
+// CollectObservations runs the module and gathers function entry/exit
+// observations for invariant inference.
+func CollectObservations(mod *Module, w *Workload, seed int64) ([]Observation, *RunResult) {
+	return invariants.Collect(mod, w, seed)
+}
+
+// InferInvariants merges observations from passing runs into a
+// likely-invariant set.
+func InferInvariants(passingRuns [][]Observation) *InvariantSet {
+	return invariants.Infer(passingRuns)
+}
+
+// Failure kinds, re-exported for callers that classify outcomes.
+const (
+	FailNone           = vm.FailNone
+	FailAbort          = vm.FailAbort
+	FailAssert         = vm.FailAssert
+	FailNullDeref      = vm.FailNullDeref
+	FailOutOfBounds    = vm.FailOutOfBounds
+	FailUseAfterFree   = vm.FailUseAfterFree
+	FailDivByZero      = vm.FailDivByZero
+	FailDeadlock       = vm.FailDeadlock
+	FailDoubleFree     = vm.FailDoubleFree
+	FailBadFree        = vm.FailBadFree
+	FailStackOverflow  = vm.FailStackOverflow
+	FailInputExhausted = vm.FailInputExhausted
+)
+
+// Version identifies the library.
+const Version = "1.0.0"
+
+// Describe returns a short multi-line description of a report,
+// convenient for CLIs and examples.
+func Describe(rep *Report) string {
+	if rep == nil {
+		return "no report"
+	}
+	if !rep.Reproduced {
+		return fmt.Sprintf("not reproduced after %d occurrence(s): %s", rep.Occurrences, rep.FailReason)
+	}
+	s := fmt.Sprintf("reproduced %v after %d occurrence(s), symbex time %v",
+		rep.Failure, rep.Occurrences, rep.TotalSymexTime)
+	if rep.Verified {
+		s += " (test case verified)"
+	}
+	return s
+}

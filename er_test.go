@@ -1,0 +1,109 @@
+package er_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"execrecon"
+)
+
+func TestCompileAndRun(t *testing.T) {
+	mod, err := er.Compile("t", `func main() int { output(41 + 1); return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := er.Run(mod, er.NewWorkload(), 1)
+	if res.Failure != nil || len(res.Output) != 1 || res.Output[0] != 42 {
+		t.Fatalf("res: %+v", res)
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	if _, err := er.Compile("t", `func main() int { return x; }`); err == nil {
+		t.Fatal("expected compile error")
+	}
+}
+
+func TestPublicReproduce(t *testing.T) {
+	mod, err := er.Compile("t", `
+func main() int {
+	int a = input32("a");
+	int b = input32("a");
+	if (a > b) {
+		assert(a - b != 7, "gap of seven");
+	}
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := er.NewWorkload().Add("a", 20, 13)
+	rep, err := er.Reproduce(mod, w, 1, er.Options{Log: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reproduced || !rep.Verified {
+		t.Fatalf("report: %+v", rep)
+	}
+	vals := rep.TestCase.Streams["a"]
+	if len(vals) != 2 || uint32(vals[0])-uint32(vals[1]) != 7 {
+		t.Errorf("generated inputs %v do not have gap 7", vals)
+	}
+	if d := er.Describe(rep); !strings.Contains(d, "reproduced") {
+		t.Errorf("describe: %q", d)
+	}
+}
+
+func TestRecordTrace(t *testing.T) {
+	mod, err := er.Compile("t", `
+func main() int {
+	for (int i = 0; i < 10; i = i + 1) { output(i); }
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, res, err := er.RecordTrace(mod, er.NewWorkload(), 1)
+	if err != nil || res.Failure != nil {
+		t.Fatalf("err=%v failure=%v", err, res.Failure)
+	}
+	if len(tr.Events) == 0 {
+		t.Error("empty trace")
+	}
+}
+
+func TestInvariantFacade(t *testing.T) {
+	mod, err := er.Compile("t", `
+func f(int x) int { return x * 2; }
+func main() int {
+	int n = input32("n");
+	output(f(n));
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var passing [][]er.Observation
+	for i := 1; i <= 3; i++ {
+		obs, res := er.CollectObservations(mod, er.NewWorkload().Add("n", uint64(i)), 1)
+		if res.Failure != nil {
+			t.Fatal(res.Failure)
+		}
+		passing = append(passing, obs)
+	}
+	set := er.InferInvariants(passing)
+	if set.NumPoints() == 0 {
+		t.Fatal("no invariant points")
+	}
+	obs, _ := er.CollectObservations(mod, er.NewWorkload().Add("n", 999), 1)
+	if len(set.Check(obs)) == 0 {
+		t.Error("out-of-range run should violate invariants")
+	}
+}
+
+func TestDescribeNil(t *testing.T) {
+	if er.Describe(nil) != "no report" {
+		t.Error("nil describe")
+	}
+}

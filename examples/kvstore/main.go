@@ -1,0 +1,116 @@
+// kvstore: reconstructing a memcached-style NULL-dereference race in
+// a multithreaded key-value store. The failure only manifests under a
+// particular coarse interleaving of the serving thread and a
+// crawler thread; ER's chunked scheduling trace captures the
+// interleaving, and the reconstructed schedule replays it (§3.4).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"execrecon"
+)
+
+const src = `
+// A slot-table store: one thread serves set/del commands, another
+// walks the table dumping item metadata.
+int used[32];
+long items[32];
+int dumped = 0;
+
+func do_set(int slot, int value) {
+	if (slot < 0 || slot >= 32) { return; }
+	lock(1);
+	if (used[slot] == 0) {
+		int *it = (int*)malloc(8);
+		it[0] = slot;
+		it[1] = value;
+		items[slot] = (long)it;
+		used[slot] = 1;
+	}
+	unlock(1);
+}
+
+func do_del(int slot) {
+	if (slot < 0 || slot >= 32) { return; }
+	// BUG: the item pointer is cleared before the slot is unlinked,
+	// outside the crawler's critical section.
+	if (used[slot] == 1) {
+		long it = items[slot];
+		items[slot] = 0;
+		yield();
+		used[slot] = 0;
+		free((char*)it);
+	}
+}
+
+func server(int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		int op = input32("cmd");
+		int slot = input32("cmd");
+		if (op == 1) { do_set(slot, input32("cmd")); }
+		else { do_del(slot); }
+	}
+}
+
+func crawler(int rounds) {
+	for (int r = 0; r < rounds; r = r + 1) {
+		for (int s = 0; s < 32; s = s + 1) {
+			if (used[s] == 1) {
+				yield();
+				int *it = (int*)items[s];
+				dumped = dumped + it[1]; // NULL deref in the race window
+			}
+		}
+	}
+}
+
+func main() int {
+	int n = input32("cfg");
+	if (n < 0 || n > 256) { return -1; }
+	long t1 = spawn server(n);
+	long t2 = spawn crawler(4);
+	join(t1);
+	join(t2);
+	output(dumped);
+	return 0;
+}`
+
+func main() {
+	mod, err := er.Compile("kvstore", src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Production traffic: sets followed by deletes of the same
+	// slots while the crawler walks.
+	failing := er.NewWorkload()
+	failing.Add("cfg", 16)
+	for s := 0; s < 8; s++ {
+		failing.Add("cmd", 1, uint64(s), uint64(100+s))
+	}
+	for s := 0; s < 8; s++ {
+		failing.Add("cmd", 2, uint64(s))
+	}
+
+	res := er.Run(mod, failing.Clone(), 3)
+	if res.Failure == nil {
+		fmt.Println("this interleaving did not expose the race; try another seed")
+		return
+	}
+	fmt.Println("production failure:", res.Failure)
+	fmt.Printf("threads: %d, schedule chunks recorded: %d\n",
+		res.Stats.Threads, res.Stats.Chunks)
+
+	rep, err := er.Reproduce(mod, failing, 3, er.Options{QueryBudget: 50_000})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(er.Describe(rep))
+	if rep.Reproduced {
+		fmt.Println("generated command stream:", rep.TestCase.Streams["cmd"])
+	}
+}

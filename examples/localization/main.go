@@ -1,0 +1,100 @@
+// localization: the §5.4 use case — ER's replayable reconstructions
+// feed an invariant-based failure localizer (MIMIC/Daikon style).
+// Likely invariants are inferred from passing runs; the
+// ER-reconstructed failing execution is checked against them, and the
+// violated invariants point at the root cause.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"execrecon"
+)
+
+const src = `
+// A tiny billing pipeline: price lookup, discount, and tax. The bug:
+// the discount routine returns a NEGATIVE total for a 100% coupon
+// (the fix clamps at zero), which the tax step then turns into a
+// nonsense refund caught by an assertion downstream.
+int prices[8] = {100, 250, 75, 300, 120, 80, 560, 40};
+
+func price_of(int item) int {
+	if (item < 0 || item >= 8) { return 0; }
+	return prices[item];
+}
+
+func apply_discount(int total, int pct) int {
+	// BUG: pct == 100 yields 0 - rounding adjustment = negative.
+	int off = (total * pct) / 100;
+	return total - off - 1;
+}
+
+func add_tax(int total) int {
+	assert(total >= 0, "negative total reached tax computation");
+	return total + total / 10;
+}
+
+func main() int {
+	int orders = input32("orders");
+	if (orders <= 0 || orders > 64) { return -1; }
+	for (int o = 0; o < orders; o = o + 1) {
+		int item = input32("orders");
+		int pct = input32("orders");
+		if (pct < 0 || pct > 100) { pct = 0; }
+		int t = price_of(item);
+		t = apply_discount(t, pct);
+		output(add_tax(t));
+	}
+	return 0;
+}`
+
+func main() {
+	mod, err := er.Compile("billing", src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Likely invariants from four passing workloads (moderate
+	// discounts only, as production mostly sees).
+	var passing [][]er.Observation
+	for i := 0; i < 4; i++ {
+		w := er.NewWorkload()
+		w.Add("orders", 6)
+		for o := 0; o < 6; o++ {
+			w.Add("orders", uint64((i+o)%8), uint64((i*7+o*13)%60))
+		}
+		obs, res := er.CollectObservations(mod, w, int64(i)+1)
+		if res.Failure != nil {
+			fmt.Fprintln(os.Stderr, "passing run failed:", res.Failure)
+			os.Exit(1)
+		}
+		passing = append(passing, obs)
+	}
+	invs := er.InferInvariants(passing)
+	fmt.Printf("inferred invariants at %d program points\n", invs.NumPoints())
+
+	// The production failure: a 100%% coupon.
+	failing := er.NewWorkload()
+	failing.Add("orders", 3, 2, 10, 4, 25, 6, 100)
+
+	rep, err := er.Reproduce(mod, failing, 1, er.Options{})
+	if err != nil || !rep.Reproduced {
+		fmt.Fprintln(os.Stderr, "reconstruction failed:", err)
+		os.Exit(1)
+	}
+	fmt.Println(er.Describe(rep))
+
+	// Localize using the reconstructed (replayable!) execution —
+	// exactly what post-mortem tools like REPT cannot provide.
+	obs, _ := er.CollectObservations(mod, rep.TestCase.Clone(), 1)
+	violations := invs.Check(obs)
+	fmt.Println("violated invariants (ranked):")
+	for i, v := range violations {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %d. %-22s %s\n", i+1, v.Point, v.Desc)
+	}
+}

@@ -1,0 +1,72 @@
+// Quickstart: compile a small program with a latent bug, let it fail
+// in "production", and reconstruct a concrete failure-reproducing
+// test case with the ER loop.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"execrecon"
+)
+
+// The program parses a tiny message: a length, that many payload
+// bytes, and a checksum. A checksum of exactly 777 trips a latent
+// assertion — the production failure we will reconstruct.
+const src = `
+func parse(int n) int {
+	if (n <= 0 || n > 16) { return -1; }
+	int sum = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		sum = sum + input32("payload");
+	}
+	assert(sum != 777, "checksum collision");
+	return sum;
+}
+
+func main() int {
+	int msgs = input32("hdr");
+	if (msgs <= 0 || msgs > 64) { return -1; }
+	for (int m = 0; m < msgs; m = m + 1) {
+		output(parse(input32("hdr")));
+	}
+	return 0;
+}`
+
+func main() {
+	mod, err := er.Compile("quickstart", src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// The failing production input: two benign messages, then one
+	// whose payload sums to 777.
+	failing := er.NewWorkload()
+	failing.Add("hdr", 3, 2, 3, 3)
+	failing.Add("payload", 10, 20)     // message 1: sum 30
+	failing.Add("payload", 1, 2, 3)    // message 2: sum 6
+	failing.Add("payload", 700, 70, 7) // message 3: sum 777 -> assert
+
+	// Confirm it fails.
+	res := er.Run(mod, failing.Clone(), 1)
+	fmt.Println("production failure:", res.Failure)
+
+	// Reconstruct: control-flow tracing plus (if needed) iterative
+	// key data value recording.
+	rep, err := er.Reproduce(mod, failing, 1, er.Options{Log: os.Stderr})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(er.Describe(rep))
+
+	// The generated inputs need not equal the original ones — but
+	// they must drive the same control flow into the same failure.
+	fmt.Println("generated test case:")
+	for tag, vals := range rep.TestCase.Streams {
+		fmt.Printf("  %-8s = %v\n", tag, vals)
+	}
+	replay := er.Run(mod, rep.TestCase.Clone(), 1)
+	fmt.Println("replayed failure:  ", replay.Failure)
+}

@@ -1,0 +1,3 @@
+module execrecon
+
+go 1.22

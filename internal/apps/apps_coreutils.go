@@ -1,0 +1,194 @@
+package apps
+
+import "execrecon/internal/vm"
+
+// CoreutilOd is the analog of the coreutils od fault used by the
+// MIMIC case study (§5.4): od's skip-bytes handling miscounts when
+// the skip exceeds the first pseudo-file, corrupting the dump offset
+// that downstream formatting relies on.
+func CoreutilOd() *App {
+	a := &App{
+		Name:    "coreutil-od",
+		BugType: "Assertion failure",
+		Kind:    vm.FailAssert,
+		Src: `
+// mini-od: dump input bytes in octal words, honoring a -j skip count
+// across multiple concatenated input files.
+int total_out = 0;
+
+func format_word(int offset, int w) int {
+	assert(offset >= 0, "dump offset went negative");
+	output(offset * 65536 + (w & 65535));
+	total_out = total_out + 1;
+	return offset + 2;
+}
+
+// skip returns the remaining skip after consuming file bytes.
+func skip_file(int flen, int skip) int {
+	if (skip >= flen) {
+		// BUG: the remaining skip must be skip - flen; subtracting
+		// the skip from itself leaves 0, so later files are not
+		// skipped and the dump offset runs negative relative to the
+		// requested origin (mirrors the 2007 od skip fault).
+		return skip - skip;
+	}
+	return 0 - (flen - skip); // negative: bytes of this file to dump
+}
+
+// dump_file prints flen bytes as words at dump offsets relative to
+// the requested origin (gpos - skip).
+func dump_file(int flen, int offset) int {
+	int i = 0;
+	while (i + 1 < flen) {
+		int b0 = (int)input8("od");
+		int b1 = (int)input8("od");
+		offset = format_word(offset, b0 * 256 + b1);
+		i = i + 2;
+	}
+	if (i < flen) { input8("od"); }
+	return offset;
+}
+
+func main() int {
+	int nfiles = input32("od");
+	int skip = input32("od");
+	if (nfiles <= 0 || nfiles > 8 || skip < 0 || skip > 4096) { return -1; }
+	int remaining = skip;
+	int gpos = 0; // global byte position across the input files
+	for (int f = 0; f < nfiles; f = f + 1) {
+		int flen = input32("od");
+		if (flen < 0 || flen > 256) { return -1; }
+		if (remaining > 0) {
+			int r = skip_file(flen, remaining);
+			if (r >= 0) {
+				// whole file skipped: consume its bytes
+				for (int i = 0; i < flen; i = i + 1) { input8("od"); }
+				gpos = gpos + flen;
+				// BUG site: r should be remaining - flen, but
+				// skip_file returned 0 — later files dump from a
+				// corrupted (negative) origin.
+				remaining = r;
+			} else {
+				// dump the tail of this file
+				for (int i = 0; i < remaining; i = i + 1) { input8("od"); }
+				gpos = gpos + remaining;
+				dump_file(flen - remaining, gpos - skip);
+				gpos = gpos + (flen - remaining);
+				remaining = 0;
+			}
+		} else {
+			dump_file(flen, gpos - skip);
+			gpos = gpos + flen;
+		}
+	}
+	return total_out;
+}`,
+	}
+	a.Failing = func() *vm.Workload {
+		w := vm.NewWorkload()
+		// skip 10 spans the whole first file (6 bytes); the buggy
+		// remainder computation returns 0 instead of 4, so file two
+		// is dumped from a corrupted negative origin.
+		w.Add("od", 2, 10)
+		w.Add("od", 6, 1, 2, 3, 4, 5, 6)
+		w.Add("od", 8, 11, 12, 13, 14, 15, 16, 17, 18)
+		return w
+	}
+	a.Benign = func(i int) *vm.Workload {
+		r := newRand(int64(i) + 131)
+		w := vm.NewWorkload()
+		nf := int(r.intn(3)) + 3
+		w.Add("od", uint64(nf), 0) // no skip: the common case
+		for f := 0; f < nf; f++ {
+			fl := int(r.intn(120)) + 40
+			w.Add("od", uint64(fl))
+			for b := 0; b < fl; b++ {
+				w.Add("od", r.intn(256))
+			}
+		}
+		return w
+	}
+	return a
+}
+
+// CoreutilPr is the analog of the coreutils pr fault used by the
+// MIMIC case study (§5.4): pr's column balancing miscomputes the
+// per-column line count for inputs that leave the last column empty,
+// overrunning the column table.
+func CoreutilPr() *App {
+	a := &App{
+		Name:    "coreutil-pr",
+		BugType: "Out-of-bounds access",
+		Kind:    vm.FailOutOfBounds,
+		Src: `
+// mini-pr: paginate input lines into balanced columns.
+int lines[64];
+int col_start[8];
+int pages = 0;
+
+func compute_columns(int nlines, int ncols) int {
+	// BUG: rounding up with (nlines + ncols - 1) / ncols is correct
+	// only when every column is used; when nlines < ncols the loop
+	// below indexes col_start past its end (mirrors the 2008 pr
+	// column fault).
+	int percol = (nlines + ncols - 1) / ncols;
+	if (percol < 1) { percol = 1; }
+	int c = 0;
+	int start = 0;
+	while (start < nlines) {
+		col_start[c] = start;
+		c = c + 1;
+		start = start + percol;
+	}
+	return c;
+}
+
+func emit_page(int nlines, int ncols) {
+	int used = compute_columns(nlines, ncols);
+	for (int c = 0; c < used; c = c + 1) {
+		int s = col_start[c];
+		int e = s + (nlines + ncols - 1) / ncols;
+		if (e > nlines) { e = nlines; }
+		for (int i = s; i < e; i = i + 1) { output(lines[i]); }
+	}
+	pages = pages + 1;
+}
+
+func main() int {
+	int npages = input32("pr");
+	int ncols = input32("pr");
+	if (npages <= 0 || npages > 16 || ncols <= 0 || ncols > 12) { return -1; }
+	for (int p = 0; p < npages; p = p + 1) {
+		int nlines = input32("pr");
+		if (nlines < 0 || nlines > 64) { return -1; }
+		for (int i = 0; i < nlines; i = i + 1) { lines[i] = input32("pr"); }
+		emit_page(nlines, ncols);
+	}
+	return pages;
+}`,
+	}
+	a.Failing = func() *vm.Workload {
+		w := vm.NewWorkload()
+		// ncols = 9 with nlines = 9 gives percol = 1, so the column
+		// loop writes col_start[8] — past the 8-slot table.
+		w.Add("pr", 2, 9)
+		w.Add("pr", 4, 100, 101, 102, 103) // page 1: fine (4 columns)
+		w.Add("pr", 9, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+		return w
+	}
+	a.Benign = func(i int) *vm.Workload {
+		r := newRand(int64(i) + 141)
+		w := vm.NewWorkload()
+		np := int(r.intn(4)) + 1
+		w.Add("pr", uint64(np), r.intn(4)+2) // 2..5 columns
+		for p := 0; p < np; p++ {
+			nl := int(r.intn(40)) + 8
+			w.Add("pr", uint64(nl))
+			for l := 0; l < nl; l++ {
+				w.Add("pr", r.intn(1000))
+			}
+		}
+		return w
+	}
+	return a
+}

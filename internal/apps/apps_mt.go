@@ -1,0 +1,409 @@
+package apps
+
+import "execrecon/internal/vm"
+
+// Memcached2019_11596 is the analog of CVE-2019-11596: a metadump
+// crawl races with item deletion; deletion clears the item pointer
+// before unlinking the slot, so the crawler observes a live slot with
+// a NULL item and dereferences it.
+func Memcached2019_11596() *App {
+	a := &App{
+		QueryBudget: 5000,
+		Name:        "Memcached-2019-11596",
+		BugType:     "NULL pointer dereference",
+		MT:          true,
+		Kind:        vm.FailNullDeref,
+		Src: `
+// mini-memcached: a slot table of items; one worker serves set/del
+// commands, another runs the metadump crawler.
+int used[64];
+long items[64];
+int stored = 0;
+int dumped = 0;
+int crawls = 0;
+
+func slot_of(int key) int {
+	int h = key * 2654435761;
+	if (h < 0) { h = 0 - h; }
+	return h % 64;
+}
+
+func do_set(int key, int value) {
+	int s = slot_of(key);
+	lock(1);
+	if (used[s] == 0) {
+		int *it = (int*)malloc(8);
+		it[0] = key;
+		it[1] = value;
+		items[s] = (long)it;
+		used[s] = 1;
+		stored = stored + 1;
+	} else {
+		int *it = (int*)items[s];
+		it[1] = value;
+	}
+	unlock(1);
+}
+
+func do_del(int key) {
+	int s = slot_of(key);
+	// BUG: the pointer is cleared and freed before the slot is
+	// unlinked, and without the crawler's lock (the fix unlinks
+	// under the lock first).
+	if (used[s] == 1) {
+		long it = items[s];
+		items[s] = 0;
+		yield();
+		used[s] = 0;
+		free((char*)it);
+	}
+}
+
+func worker(int ncmds) {
+	for (int i = 0; i < ncmds; i = i + 1) {
+		int op = input32("cmds");
+		int key = input32("cmds");
+		if (op == 1) { do_set(key, input32("cmds")); }
+		else if (op == 2) { do_del(key); }
+	}
+}
+
+func crawler(int rounds) {
+	for (int r = 0; r < rounds; r = r + 1) {
+		for (int s = 0; s < 64; s = s + 1) {
+			if (used[s] == 1) {
+				yield();
+				int *it = (int*)items[s];
+				dumped = dumped + it[0]; // NULL deref in the race window
+			}
+		}
+		crawls = crawls + 1;
+	}
+}
+
+func main() int {
+	int ncmds = input32("cfg");
+	int rounds = input32("cfg");
+	if (ncmds < 0 || ncmds > 4096 || rounds < 0 || rounds > 64) { return -1; }
+	long t1 = spawn worker(ncmds);
+	long t2 = spawn crawler(rounds);
+	join(t1);
+	join(t2);
+	output(stored);
+	output(dumped);
+	return crawls;
+}`,
+	}
+	a.Failing = func() *vm.Workload {
+		w := vm.NewWorkload()
+		w.Add("cfg", 40, 8)
+		r := newRand(7)
+		// Sets followed by deletes of the same keys: the crawler
+		// walks while the worker deletes.
+		for i := 0; i < 10; i++ {
+			w.Add("cmds", 1, uint64(i), r.intn(1000))
+		}
+		for i := 0; i < 10; i++ {
+			w.Add("cmds", 2, uint64(i))
+		}
+		for i := 0; i < 10; i++ {
+			w.Add("cmds", 1, uint64(i+20), r.intn(1000))
+		}
+		for i := 0; i < 10; i++ {
+			w.Add("cmds", 2, uint64(i+20))
+		}
+		return w
+	}
+	a.Seed = 3 // an interleaving that exposes the race window
+	a.Benign = func(i int) *vm.Workload {
+		r := newRand(int64(i) + 101)
+		w := vm.NewWorkload()
+		n := 300 // memtier-like set/get-heavy mix, no deletes
+		w.Add("cfg", uint64(n), 4)
+		for k := 0; k < n; k++ {
+			w.Add("cmds", 1, r.intn(64), r.intn(10000))
+		}
+		return w
+	}
+	return a
+}
+
+// Python2018_1000030 is the analog of CVE-2018-1000030: CPython 2.7's
+// file readahead buffer is not thread safe; concurrent readers race
+// on the shared buffer, one thread using a buffer the other has
+// already replaced.
+func Python2018_1000030() *App {
+	a := &App{
+		QueryBudget: 2000,
+		Name:        "Python-2018-1000030",
+		BugType:     "Shared data corruption",
+		MT:          true,
+		Kind:        vm.FailUseAfterFree,
+		Src: `
+// mini-python file object: a shared readahead buffer refilled on
+// demand; two reader threads consume lines concurrently.
+long rbuf = 0;
+int rlen = 0;
+int rpos = 0;
+int lines_read = 0;
+int refills = 0;
+
+func refill() {
+	// Refills are serialized among themselves (lock 4), but — the
+	// BUG — not against readers that already captured the old
+	// buffer pointer (the fix holds the file object's lock across
+	// the whole readahead operation).
+	lock(4);
+	long old = rbuf;
+	int n = input32("file");
+	if (n <= 0 || n > 32) { n = 8; }
+	char *nb = malloc(n);
+	for (int i = 0; i < n; i = i + 1) { nb[i] = input8("file"); }
+	yield();
+	lock(2);
+	rbuf = (long)nb;
+	rlen = n;
+	rpos = 0;
+	unlock(2);
+	if (old != 0) { free((char*)old); }
+	refills = refills + 1;
+	unlock(4);
+}
+
+func read_line(int id) int {
+	int acc = 0;
+	lock(2);
+	if (rpos >= rlen || rbuf == 0) {
+		unlock(2);
+		refill(); // racy: outside the object lock
+		lock(2);
+	}
+	// reserve a position in the current buffer
+	long p = rbuf;
+	int pos = rpos;
+	int len = rlen;
+	rpos = rpos + 1;
+	unlock(2);
+	yield();
+	// use the captured pointer: stale after a concurrent refill
+	char *buf = (char*)p;
+	if (pos < len) {
+		acc = (int)buf[pos]; // use-after-free once the race hits
+	}
+	lines_read = lines_read + 1;
+	return acc;
+}
+
+func reader(int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		acc = acc + read_line(0);
+	}
+	output(acc);
+}
+
+func main() int {
+	int n1 = input32("cfg");
+	int n2 = input32("cfg");
+	if (n1 < 0 || n1 > 4096 || n2 < 0 || n2 > 4096) { return -1; }
+	long t1 = spawn reader(n1);
+	long t2 = spawn reader(n2);
+	join(t1);
+	join(t2);
+	output(lines_read);
+	return refills;
+}`,
+	}
+	a.Failing = func() *vm.Workload {
+		w := vm.NewWorkload()
+		w.Add("cfg", 12, 12)
+		r := newRand(5)
+		for k := 0; k < 24; k++ {
+			n := 4
+			w.Add("file", uint64(n))
+			for b := 0; b < n; b++ {
+				w.Add("file", r.intn(96)+32)
+			}
+		}
+		return w
+	}
+	a.Seed = 2
+	a.Benign = func(i int) *vm.Workload {
+		r := newRand(int64(i) + 111)
+		w := vm.NewWorkload()
+		// pypy-benchmark-like read mix: production reads are issued
+		// by one thread at a time (the second thread is idle), so
+		// the race window never lines up.
+		w.Add("cfg", 200, 0)
+		for k := 0; k < 300; k++ {
+			n := int(r.intn(24)) + 8
+			w.Add("file", uint64(n))
+			for b := 0; b < n; b++ {
+				w.Add("file", r.intn(96)+32)
+			}
+		}
+		return w
+	}
+	return a
+}
+
+// Pbzip2 is the analog of the pbzip2-0.9.4 use-after-free: the
+// consumer frees a queue block that the producer-side drain path
+// still touches when the queue empties at end of input.
+func Pbzip2() *App {
+	a := &App{
+		QueryBudget: 5000,
+		Name:        "Pbzip2",
+		BugType:     "Use-after-free",
+		MT:          true,
+		Kind:        vm.FailUseAfterFree,
+		Src: `
+// mini-pbzip2: a producer reads input blocks into a bounded queue; a
+// consumer RLE-compresses and frees them. Normal termination is a
+// "last block" marker; the fifo metadata is freed by the producer
+// after the queue drains.
+long queue[8];
+int qhead = 0;
+int qtail = 0;
+int qcount = 0;
+long fifo = 0; // shared metadata: [produced, consumed, eof]
+int out_bytes = 0;
+
+func enqueue(long blk) {
+	int queued = 0;
+	while (queued == 0) {
+		lock(3);
+		if (qcount < 8) {
+			queue[qtail] = blk;
+			qtail = (qtail + 1) % 8;
+			qcount = qcount + 1;
+			queued = 1;
+		}
+		unlock(3);
+		if (queued == 0) { yield(); }
+	}
+}
+
+func produce(int nblocks) {
+	for (int b = 0; b < nblocks; b = b + 1) {
+		int n = input32("data");
+		if (n < 0 || n > 24) { n = 1; }
+		if (n == 0) {
+			// BUG: an empty block is skipped entirely — including
+			// the last one, so its "last block" marker is never
+			// queued and the consumer falls back to polling the
+			// fifo metadata (the fix queues a zero-length marker
+			// block).
+			continue;
+		}
+		char *blk = malloc(n + 8);
+		int *hdr = (int*)blk;
+		hdr[0] = n;
+		if (b == nblocks - 1) { hdr[1] = 1; } else { hdr[1] = 0; }
+		for (int i = 0; i < n; i = i + 1) { blk[8 + i] = input8("data"); }
+		enqueue((long)blk);
+		int *f = (int*)fifo;
+		lock(3);
+		f[0] = f[0] + 1;
+		unlock(3);
+	}
+	// Teardown: wait for the queue to drain, then free the fifo.
+	int drained = 0;
+	while (drained == 0) {
+		lock(3);
+		if (qcount == 0) { drained = 1; }
+		unlock(3);
+		if (drained == 0) { yield(); }
+	}
+	free((char*)fifo);
+}
+
+func rle(char *blk, int n) int {
+	int out = 0;
+	int i = 8;
+	while (i < n + 8) {
+		char v = blk[i];
+		int run = 1;
+		while (i + run < n + 8 && blk[i + run] == v) { run = run + 1; }
+		out = out + 2;
+		i = i + run;
+	}
+	return out;
+}
+
+func consume(int unused) {
+	int done = 0;
+	while (done == 0) {
+		long blk = 0;
+		lock(3);
+		if (qcount > 0) {
+			blk = queue[qhead];
+			qhead = (qhead + 1) % 8;
+			qcount = qcount - 1;
+		}
+		unlock(3);
+		if (blk != 0) {
+			int *hdr = (int*)blk;
+			int n = hdr[0];
+			if (hdr[1] == 1) { done = 1; }
+			out_bytes = out_bytes + rle((char*)blk, n);
+			free((char*)blk);
+		} else {
+			// queue empty: poll the EOF flag in the fifo metadata —
+			// a use-after-free once the producer tore it down.
+			int *f = (int*)fifo;
+			if (f[2] == 1) { done = 1; }
+			yield();
+		}
+	}
+}
+
+func main() int {
+	int nblocks = input32("cfg");
+	if (nblocks <= 0 || nblocks > 512) { return -1; }
+	int *f = (int*)malloc(12);
+	f[0] = 0; f[1] = 0; f[2] = 0;
+	fifo = (long)f;
+	long tp = spawn produce(nblocks);
+	long tc = spawn consume(0);
+	join(tp);
+	join(tc);
+	output(out_bytes);
+	return out_bytes;
+}`,
+	}
+	a.Failing = func() *vm.Workload {
+		w := vm.NewWorkload()
+		w.Add("cfg", 6)
+		r := newRand(9)
+		for b := 0; b < 5; b++ {
+			n := 6
+			w.Add("data", uint64(n))
+			for i := 0; i < n; i++ {
+				w.Add("data", r.intn(4)) // runs compress well
+			}
+		}
+		// The final block is empty: its "last" marker is skipped.
+		w.Add("data", 0)
+		return w
+	}
+	a.Seed = 1
+	a.Benign = func(i int) *vm.Workload {
+		r := newRand(int64(i) + 121)
+		w := vm.NewWorkload()
+		// compress a "71 MB tar" stand-in: many blocks; the UAF
+		// window needs the consumer to lag into the producer's
+		// teardown, which large balanced pipelines avoid.
+		n := 60
+		w.Add("cfg", uint64(n))
+		for b := 0; b < n; b++ {
+			sz := int(r.intn(20)) + 4
+			w.Add("data", uint64(sz))
+			for k := 0; k < sz; k++ {
+				w.Add("data", r.intn(3))
+			}
+		}
+		return w
+	}
+	return a
+}

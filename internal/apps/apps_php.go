@@ -1,0 +1,206 @@
+package apps
+
+import "execrecon/internal/vm"
+
+// PHP2012_2386 is the analog of PHP bug 2012-2386 (Secunia SA44335):
+// an unchecked 32-bit multiplication of attacker-controlled entry
+// count and entry size in the phar tar parser overflows, producing an
+// undersized heap allocation that the entry-copy loop then overruns.
+func PHP2012_2386() *App {
+	a := &App{
+		QueryBudget: 5000,
+		Name:        "PHP-2012-2386",
+		BugType:     "Integer overflow",
+		Kind:        vm.FailOutOfBounds,
+		Src: `
+// mini-phar: archive processor with a manifest of fixed-size entries.
+int archives_ok = 0;
+
+func checksum(char *buf, int n) int {
+	int sum = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		sum = sum * 31 + (int)buf[i];
+	}
+	return sum;
+}
+
+func parse_archive() int {
+	int count = input32("arch");
+	int entsize = input32("arch");
+	if (count <= 0 || entsize <= 0) { return -1; }
+	// BUG: count*entsize computed in 32 bits with no overflow check
+	// (the fix multiplies in 64 bits and validates).
+	uint total = (uint)count * (uint)entsize;
+	char *buf = malloc((long)total);
+	for (int e = 0; e < count; e = e + 1) {
+		for (int b = 0; b < entsize; b = b + 1) {
+			buf[e * entsize + b] = input8("arch");
+		}
+	}
+	int sum = checksum(buf, (int)total);
+	free(buf);
+	archives_ok = archives_ok + 1;
+	return sum;
+}
+
+func main() int {
+	int done = 0;
+	while (done == 0) {
+		int cmd = input32("req");
+		if (cmd == 0) { done = 1; }
+		else { output(parse_archive()); }
+	}
+	return archives_ok;
+}`,
+	}
+	a.Failing = func() *vm.Workload {
+		w := vm.NewWorkload()
+		r := newRand(3)
+		// Benign archives, then the overflowing manifest:
+		// 0x10000 * 0x10000 ≡ 0 (mod 2^32) → malloc(0) → the first
+		// entry byte overruns.
+		for k := 0; k < 5; k++ {
+			w.Add("req", 1)
+			count, entsize := int(r.intn(3))+1, int(r.intn(4))+2
+			w.Add("arch", uint64(count), uint64(entsize))
+			for b := 0; b < count*entsize; b++ {
+				w.Add("arch", r.intn(256))
+			}
+		}
+		w.Add("req", 1)
+		w.Add("arch", 0x10000, 0x10000, 7)
+		return w
+	}
+	a.Benign = func(i int) *vm.Workload {
+		r := newRand(int64(i) + 1)
+		w := vm.NewWorkload()
+		for k := 0; k < 40; k++ {
+			w.Add("req", 1)
+			count, entsize := int(r.intn(6))+1, int(r.intn(24))+1
+			w.Add("arch", uint64(count), uint64(entsize))
+			for b := 0; b < count*entsize; b++ {
+				w.Add("arch", r.intn(256))
+			}
+		}
+		w.Add("req", 0)
+		return w
+	}
+	return a
+}
+
+// PHP74194 is the analog of PHP bug 74194: serializing an ArrayObject
+// miscounts the needed buffer length for a corner-case value, so the
+// second (writing) pass overruns the heap buffer sized by the first
+// (counting) pass.
+func PHP74194() *App {
+	a := &App{
+		QueryBudget: 5000,
+		Name:        "PHP-74194",
+		BugType:     "Heap buffer overflow",
+		Kind:        vm.FailOutOfBounds,
+		Src: `
+// mini-serializer: two-pass "k:v;" encoding of integer pairs.
+int serialized = 0;
+
+// BUG: digits(0) returns 0, but the writer emits one character for
+// zero — the length pass undercounts by one per zero value.
+func digits(int x) int {
+	int d = 0;
+	while (x > 0) { d = d + 1; x = x / 10; }
+	return d;
+}
+
+func writenum(char *out, int pos, int x) int {
+	if (x == 0) {
+		out[pos] = '0';
+		return pos + 1;
+	}
+	char tmp[12];
+	int n = 0;
+	while (x > 0) {
+		tmp[n] = (char)('0' + x % 10);
+		x = x / 10;
+		n = n + 1;
+	}
+	while (n > 0) {
+		n = n - 1;
+		out[pos] = tmp[n];
+		pos = pos + 1;
+	}
+	return pos;
+}
+
+func serialize() int {
+	int n = input32("ser");
+	if (n <= 0 || n > 8) { return -1; }
+	int keys[8];
+	int vals[8];
+	int len = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		int k = input32("ser");
+		int v = input32("ser");
+		if (k < 0 || v < 0) { return -1; }
+		keys[i] = k;
+		vals[i] = v;
+		len = len + digits(k) + digits(v) + 2;
+	}
+	char *out = malloc(len);
+	int pos = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		pos = writenum(out, pos, keys[i]);
+		out[pos] = ':';
+		pos = pos + 1;
+		pos = writenum(out, pos, vals[i]);
+		out[pos] = ';';
+		pos = pos + 1;
+	}
+	int sum = 0;
+	for (int i = 0; i < len; i = i + 1) { sum = sum + (int)out[i]; }
+	free(out);
+	serialized = serialized + 1;
+	return sum;
+}
+
+func main() int {
+	int done = 0;
+	while (done == 0) {
+		int cmd = input32("req");
+		if (cmd == 0) { done = 1; }
+		else { output(serialize()); }
+	}
+	return serialized;
+}`,
+	}
+	a.Failing = func() *vm.Workload {
+		w := vm.NewWorkload()
+		// Benign batches, then a batch whose value 0 triggers the
+		// undercount.
+		r := newRand(13)
+		for k := 0; k < 5; k++ {
+			w.Add("req", 1)
+			n := int(r.intn(4)) + 1
+			w.Add("ser", uint64(n))
+			for j := 0; j < n; j++ {
+				w.Add("ser", r.intn(90)+1, r.intn(90)+1)
+			}
+		}
+		w.Add("req", 1)
+		w.Add("ser", 2, 31, 7, 4, 0)
+		return w
+	}
+	a.Benign = func(i int) *vm.Workload {
+		r := newRand(int64(i) + 11)
+		w := vm.NewWorkload()
+		for k := 0; k < 60; k++ {
+			w.Add("req", 1)
+			n := int(r.intn(8)) + 1
+			w.Add("ser", uint64(n))
+			for j := 0; j < n; j++ {
+				w.Add("ser", r.intn(9000)+1, r.intn(9000)+1)
+			}
+		}
+		w.Add("req", 0)
+		return w
+	}
+	return a
+}

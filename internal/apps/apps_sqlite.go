@@ -1,0 +1,347 @@
+package apps
+
+import "execrecon/internal/vm"
+
+// SQLite7be932d is the analog of SQLite ticket 7be932d: an adverse
+// interaction between the CLI's ".stats" and ".eqp" modes leaves the
+// query-plan counter structure unallocated while the stats printer
+// dereferences it — a stateful, latent NULL dereference whose root
+// cause (the mode change freeing the plan) is far from the failure
+// (the next query's stats print).
+func SQLite7be932d() *App {
+	a := &App{
+		QueryBudget: 10000,
+		Name:        "SQLite-7be932d",
+		BugType:     "NULL pointer dereference",
+		Kind:        vm.FailNullDeref,
+		Src: `
+// mini-sqlite CLI: rows live in a hash-indexed table; commands toggle
+// stats/eqp modes and run point queries.
+int slots[128];   // hash-slot -> value (open addressing, 1 probe)
+int slot_used[128];
+int nrows = 0;
+int stats_on = 0;
+int eqp_on = 0;
+long plan = 0; // plan counters, allocated while eqp is on
+
+func alloc_plan() {
+	int *p = (int*)malloc(16);
+	p[0] = 0; p[1] = 0; p[2] = 0; p[3] = 0;
+	plan = (long)p;
+}
+
+func reset_modes() {
+	// BUG: resetting frees the plan but leaves stats_on set, so the
+	// next query's stats printer dereferences NULL (the fix clears
+	// stats_on too).
+	if (plan != 0) { free((char*)plan); plan = 0; }
+	eqp_on = 0;
+}
+
+func hash_of(int key) int {
+	int h = (key * 31) ^ (key >> 7);
+	return h & 127;
+}
+
+func insert_row(int key, int v) {
+	int h = hash_of(key);
+	if (slot_used[h] == 0) { nrows = nrows + 1; }
+	slots[h] = v;
+	slot_used[h] = 1;
+}
+
+func scan(int key) int {
+	int hits = 0;
+	int h = hash_of(key);
+	int *p = (int*)plan;
+	if (eqp_on == 1) { p[0] = p[0] + 1; }
+	if (slot_used[h] == 1 && slots[h] == key) { hits = 1; }
+	if (stats_on == 1) {
+		int *sp = (int*)plan;
+		output(sp[1]); // NULL deref when plan was reset
+	}
+	return hits;
+}
+
+func main() int {
+	int queries = 0;
+	int done = 0;
+	while (done == 0) {
+		int cmd = input32("sql");
+		if (cmd == 0) { done = 1; }
+		else if (cmd == 1) { insert_row(input32("sql"), input32("sql")); }
+		else if (cmd == 2) { stats_on = 1; if (plan == 0) { alloc_plan(); } }
+		else if (cmd == 3) { eqp_on = 1; if (plan == 0) { alloc_plan(); } }
+		else if (cmd == 4) { reset_modes(); }
+		else if (cmd == 5) { output(scan(input32("sql"))); queries = queries + 1; }
+	}
+	return queries;
+}`,
+	}
+	a.Failing = func() *vm.Workload {
+		w := vm.NewWorkload()
+		r := newRand(77)
+		// a realistic session: a batch of inserts and queries with
+		// both modes on, then the fatal reset/query pair
+		w.Add("sql", 3, 2) // .eqp on, .stats on
+		for k := 0; k < 12; k++ {
+			w.Add("sql", 1, r.intn(500), r.intn(1000))
+		}
+		for k := 0; k < 6; k++ {
+			w.Add("sql", 5, r.intn(500))
+		}
+		w.Add("sql", 4)    // reset: frees plan, stats stays on <- root cause
+		w.Add("sql", 5, 9) // query: stats printer derefs NULL  <- failure
+		return w
+	}
+	a.Benign = func(i int) *vm.Workload {
+		r := newRand(int64(i) + 21)
+		w := vm.NewWorkload()
+		for k := 0; k < 30; k++ {
+			w.Add("sql", 1, r.intn(500), r.intn(1000))
+		}
+		w.Add("sql", 3, 2)
+		for k := 0; k < 60; k++ {
+			w.Add("sql", 5, r.intn(500))
+		}
+		w.Add("sql", 4, 3, 2) // reset then re-enable both: safe order
+		for k := 0; k < 40; k++ {
+			w.Add("sql", 5, r.intn(500))
+		}
+		w.Add("sql", 0)
+		return w
+	}
+	return a
+}
+
+// SQLite787fa71 is the analog of SQLite ticket 787fa71: a multi-use
+// subquery implemented by co-routine leaves a shared structure
+// inconsistent, tripping an internal assertion. Here a bulk-load mode
+// defers index maintenance; a query issued before the bulk load is
+// finalized observes index/table disagreement.
+func SQLite787fa71() *App {
+	a := &App{
+		QueryBudget: 5000,
+		Name:        "SQLite-787fa71",
+		BugType:     "Inconsistent data-structure",
+		Kind:        vm.FailAssert,
+		Src: `
+// mini-sqlite storage: table rows plus a sorted index maintained on
+// insert; bulk mode batches index maintenance.
+int rows[256];
+int nrows = 0;
+int index[256]; // row ids ordered by key
+int nindex = 0;
+int bulk = 0;
+
+func index_insert(int rowid) {
+	int key = rows[rowid];
+	int pos = nindex;
+	while (pos > 0 && rows[index[pos - 1]] > key) {
+		index[pos] = index[pos - 1];
+		pos = pos - 1;
+	}
+	index[pos] = rowid;
+	nindex = nindex + 1;
+}
+
+func insert(int key) {
+	if (nrows >= 256) { return; }
+	rows[nrows] = key;
+	// BUG: bulk mode defers index maintenance, but queries do not
+	// force finalization first (the fix finalizes on query entry).
+	if (bulk == 0) { index_insert(nrows); }
+	nrows = nrows + 1;
+}
+
+func finalize_bulk() {
+	while (nindex < nrows) { index_insert(nindex); }
+	bulk = 0;
+}
+
+func lookup(int key) int {
+	assert(nindex == nrows, "index out of sync with table");
+	int lo = 0;
+	int hi = nindex;
+	while (lo < hi) {
+		int mid = (lo + hi) / 2;
+		if (rows[index[mid]] < key) { lo = mid + 1; }
+		else { hi = mid; }
+	}
+	if (lo < nindex && rows[index[lo]] == key) { return index[lo]; }
+	return -1;
+}
+
+func main() int {
+	int done = 0;
+	int found = 0;
+	while (done == 0) {
+		int cmd = input32("sql");
+		if (cmd == 0) { done = 1; }
+		else if (cmd == 1) { insert(input32("sql")); }
+		else if (cmd == 2) { bulk = 1; }
+		else if (cmd == 3) { finalize_bulk(); }
+		else if (cmd == 4) {
+			int r = lookup(input32("sql"));
+			if (r >= 0) { found = found + 1; }
+			output(r);
+		}
+	}
+	return found;
+}`,
+	}
+	a.Failing = func() *vm.Workload {
+		w := vm.NewWorkload()
+		w.Add("sql",
+			1, 30, 1, 10, 1, 20, // indexed inserts
+			4, 20, // benign query
+			2,     // bulk mode on          <- root cause setup
+			1, 42, // deferred insert
+			4, 42, // query before finalize <- assertion failure
+		)
+		return w
+	}
+	a.Benign = func(i int) *vm.Workload {
+		r := newRand(int64(i) + 31)
+		w := vm.NewWorkload()
+		for k := 0; k < 50; k++ {
+			w.Add("sql", 1, r.intn(1000))
+		}
+		w.Add("sql", 2)
+		for k := 0; k < 30; k++ {
+			w.Add("sql", 1, r.intn(1000))
+		}
+		w.Add("sql", 3) // finalize before querying: safe
+		for k := 0; k < 50; k++ {
+			w.Add("sql", 4, r.intn(1000))
+		}
+		w.Add("sql", 0)
+		return w
+	}
+	return a
+}
+
+// SQLite4e8e485 is the analog of SQLite ticket 4e8e485: a query whose
+// WHERE clause contains an OR term crashes because the OR-clause
+// optimizer leaves a sub-plan pointer NULL for a shape it does not
+// expect (an OR arm that is a bare constant).
+func SQLite4e8e485() *App {
+	a := &App{
+		QueryBudget: 2000,
+		Name:        "SQLite-4e8e485",
+		BugType:     "NULL pointer dereference",
+		Kind:        vm.FailNullDeref,
+		Src: `
+// mini-sqlite WHERE planner: a clause is a list of terms; OR terms
+// get a sub-plan object each. Term encoding on the wire:
+//   1 k  -> col == k        2 k  -> col < k
+//   3 k1 k2 -> col == k1 OR col == k2
+//   4 k  -> col == k OR TRUE   (constant arm; the buggy shape)
+int table[64];
+int nrows = 0;
+
+// planner output: up to 8 terms
+int term_kind[8];
+int term_a[8];
+int term_b[8];
+long term_plan[8]; // sub-plan per OR term
+int nterms = 0;
+
+func plan_term(int kind) {
+	term_kind[nterms] = kind;
+	if (kind == 1 || kind == 2) {
+		term_a[nterms] = input32("sql");
+		term_plan[nterms] = 0;
+	}
+	if (kind == 3) {
+		term_a[nterms] = input32("sql");
+		term_b[nterms] = input32("sql");
+		int *sp = (int*)malloc(8);
+		sp[0] = 2; // two arms
+		term_plan[nterms] = (long)sp;
+	}
+	if (kind == 4) {
+		term_a[nterms] = input32("sql");
+		// BUG: the constant-true arm takes an early path that never
+		// allocates the sub-plan (the fix allocates a degenerate
+		// plan here).
+		term_plan[nterms] = 0;
+	}
+	nterms = nterms + 1;
+}
+
+func eval_row(int v) int {
+	for (int t = 0; t < nterms; t = t + 1) {
+		int k = term_kind[t];
+		int ok = 0;
+		if (k == 1) { if (v == term_a[t]) { ok = 1; } }
+		if (k == 2) { if (v < term_a[t]) { ok = 1; } }
+		if (k == 3 || k == 4) {
+			// OR execution consults the sub-plan arm counter.
+			int *sp = (int*)term_plan[t];
+			int arms = sp[0]; // NULL deref for kind 4
+			if (v == term_a[t]) { ok = 1; }
+			if (arms > 1 && v == term_b[t]) { ok = 1; }
+			if (k == 4) { ok = 1; }
+		}
+		if (ok == 0) { return 0; }
+	}
+	return 1;
+}
+
+func run_query() int {
+	int hits = 0;
+	for (int i = 0; i < nrows; i = i + 1) {
+		hits = hits + eval_row(table[i]);
+	}
+	nterms = 0;
+	return hits;
+}
+
+func main() int {
+	int done = 0;
+	while (done == 0) {
+		int cmd = input32("sql");
+		if (cmd == 0) { done = 1; }
+		else if (cmd == 1) { if (nrows < 64) { table[nrows] = input32("sql"); nrows = nrows + 1; } }
+		else if (cmd == 5) {
+			int nt = input32("sql");
+			if (nt > 0 && nt <= 4) {
+				for (int t = 0; t < nt; t = t + 1) { plan_term(input32("sql")); }
+				output(run_query());
+			}
+		}
+	}
+	return nrows;
+}`,
+	}
+	a.Failing = func() *vm.Workload {
+		w := vm.NewWorkload()
+		w.Add("sql",
+			1, 5, 1, 9, 1, 5, // rows
+			5, 1, 3, 5, 9, // benign OR query: hits
+			5, 1, 4, 5, // OR with constant arm -> NULL sub-plan deref
+		)
+		return w
+	}
+	a.Benign = func(i int) *vm.Workload {
+		r := newRand(int64(i) + 41)
+		w := vm.NewWorkload()
+		for k := 0; k < 40; k++ {
+			w.Add("sql", 1, r.intn(100))
+		}
+		for k := 0; k < 40; k++ {
+			switch r.intn(3) {
+			case 0:
+				w.Add("sql", 5, 1, 1, r.intn(100))
+			case 1:
+				w.Add("sql", 5, 1, 2, r.intn(100))
+			default:
+				w.Add("sql", 5, 1, 3, r.intn(100), r.intn(100))
+			}
+		}
+		w.Add("sql", 0)
+		return w
+	}
+	return a
+}

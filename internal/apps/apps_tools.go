@@ -1,0 +1,565 @@
+package apps
+
+import "execrecon/internal/vm"
+
+// Nasm2004_1287 is the analog of CVE-2004-1287: NASM's error
+// preprocessing copies the offending source line into a fixed-size
+// stack buffer without bounds checking, so a long line in an error
+// path overruns the stack frame.
+func Nasm2004_1287() *App {
+	a := &App{
+		QueryBudget: 5000,
+		Name:        "Nasm-2004-1287",
+		BugType:     "Stack buffer overrun",
+		Kind:        vm.FailOutOfBounds,
+		Src: `
+// mini-nasm: assemble lines of "opcode operand" pairs into a code
+// buffer; unknown opcodes route the raw line through error reporting.
+int code[512];
+int ncode = 0;
+int errors = 0;
+
+// opcodes: 1=mov 2=add 3=jmp 4=db
+func emit(int op, int operand) {
+	if (ncode < 512) {
+		code[ncode] = op * 65536 + (operand & 65535);
+		ncode = ncode + 1;
+	}
+}
+
+func report_error(int linelen) {
+	// BUG: the error formatter copies the line into a fixed stack
+	// buffer with no length check (the fix truncates at 31 bytes).
+	char msg[32];
+	for (int i = 0; i < linelen; i = i + 1) {
+		msg[i] = input8("asm");
+	}
+	int sum = 0;
+	for (int i = 0; i < linelen; i = i + 1) { sum = sum + (int)msg[i]; }
+	output(sum);
+	errors = errors + 1;
+}
+
+func assemble_line() int {
+	int op = input32("asm");
+	int linelen = input32("asm");
+	if (linelen < 0 || linelen > 256) { return -1; }
+	if (op >= 1 && op <= 4) {
+		int operand = input32("asm");
+		emit(op, operand);
+		// consume the rest of the line
+		for (int i = 0; i < linelen; i = i + 1) { input8("asm"); }
+		return 1;
+	}
+	report_error(linelen);
+	return 0;
+}
+
+func main() int {
+	int lines = input32("asm");
+	if (lines < 0 || lines > 1024) { return -1; }
+	for (int l = 0; l < lines; l = l + 1) {
+		assemble_line();
+	}
+	output(ncode);
+	return errors;
+}`,
+	}
+	a.Failing = func() *vm.Workload {
+		w := vm.NewWorkload()
+		r := newRand(23)
+		lines := 24
+		w.Add("asm", uint64(lines))
+		for l := 0; l < lines-2; l++ {
+			n := int(r.intn(5))
+			w.Add("asm", r.intn(4)+1, uint64(n), r.intn(65536))
+			for b := 0; b < n; b++ {
+				w.Add("asm", r.intn(96)+32)
+			}
+		}
+		w.Add("asm", 9, 3, 5, 6, 7) // unknown opcode, short line: benign error
+		w.Add("asm", 9, 48)         // unknown opcode, 48-byte line: overrun
+		for i := 0; i < 48; i++ {
+			w.Add("asm", uint64(65+i%26))
+		}
+		return w
+	}
+	a.Benign = func(i int) *vm.Workload {
+		r := newRand(int64(i) + 51)
+		w := vm.NewWorkload()
+		lines := 120
+		w.Add("asm", uint64(lines))
+		for l := 0; l < lines; l++ {
+			if r.intn(10) == 0 {
+				n := int(r.intn(28))
+				w.Add("asm", 99, uint64(n))
+				for b := 0; b < n; b++ {
+					w.Add("asm", r.intn(96)+32)
+				}
+			} else {
+				n := int(r.intn(6))
+				w.Add("asm", r.intn(4)+1, uint64(n), r.intn(65536))
+				for b := 0; b < n; b++ {
+					w.Add("asm", r.intn(96)+32)
+				}
+			}
+		}
+		return w
+	}
+	return a
+}
+
+// Objdump2018_6323 is the analog of CVE-2018-6323: an unsigned
+// integer overflow in BFD's section-table size computation makes
+// objdump allocate an undersized table that the header loop then
+// overruns.
+func Objdump2018_6323() *App {
+	a := &App{
+		QueryBudget: 5000,
+		Name:        "Objdump-2018-6323",
+		BugType:     "Integer overflow",
+		Kind:        vm.FailOutOfBounds,
+		Src: `
+// mini-objdump: parse an object header (nsects, then per-section
+// size), load section bytes, then disassemble via a handler table.
+int sections_seen = 0;
+
+func dis_word(long w) long { return w * 2 + 1; }
+func dis_byte(long w) long { return w + 100; }
+
+func disassemble(char *buf, int n) int {
+	long hw = fnptr("dis_word");
+	long hb = fnptr("dis_byte");
+	int acc = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		int b = (int)(uchar)buf[i];
+		long r = 0;
+		if (b >= 128) { r = icall1(hw, (long)b); }
+		else { r = icall1(hb, (long)b); }
+		acc = acc + (int)r;
+	}
+	return acc;
+}
+
+func load_object() int {
+	int nsects = input32("obj");
+	if (nsects <= 0) { return -1; }
+	// BUG: the section table is sized with a 32-bit multiply that
+	// wraps for huge nsects (the fix checks for overflow).
+	uint tabbytes = (uint)nsects * (uint)8;
+	char *tab = malloc((long)tabbytes);
+	for (int s = 0; s < nsects; s = s + 1) {
+		int size = input32("obj");
+		if (size < 0 || size > 64) { return -1; }
+		int *entry = (int*)(tab + s * 8);
+		entry[0] = s;
+		entry[1] = size;
+		char *data = malloc(size);
+		for (int b = 0; b < size; b = b + 1) { data[b] = input8("obj"); }
+		output(disassemble(data, size));
+		free(data);
+		sections_seen = sections_seen + 1;
+	}
+	free(tab);
+	return nsects;
+}
+
+func main() int {
+	int objects = input32("obj");
+	if (objects < 0 || objects > 64) { return -1; }
+	for (int o = 0; o < objects; o = o + 1) {
+		load_object();
+	}
+	return sections_seen;
+}`,
+	}
+	a.Failing = func() *vm.Workload {
+		w := vm.NewWorkload()
+		r := newRand(29)
+		w.Add("obj", 5) // five objects
+		for o := 0; o < 4; o++ {
+			ns := int(r.intn(3)) + 1
+			w.Add("obj", uint64(ns))
+			for sc := 0; sc < ns; sc++ {
+				size := int(r.intn(12)) + 1
+				w.Add("obj", uint64(size))
+				for b := 0; b < size; b++ {
+					w.Add("obj", r.intn(256))
+				}
+			}
+		}
+		// malicious: nsects = 0x20000000 -> 0x20000000*8 wraps to 0
+		w.Add("obj", 0x20000000, 4, 1, 2, 3, 4)
+		return w
+	}
+	a.Benign = func(i int) *vm.Workload {
+		r := newRand(int64(i) + 61)
+		w := vm.NewWorkload()
+		objects := 12
+		w.Add("obj", uint64(objects))
+		for o := 0; o < objects; o++ {
+			ns := int(r.intn(5)) + 1
+			w.Add("obj", uint64(ns))
+			for s := 0; s < ns; s++ {
+				size := int(r.intn(48)) + 1
+				w.Add("obj", uint64(size))
+				for b := 0; b < size; b++ {
+					w.Add("obj", r.intn(256))
+				}
+			}
+		}
+		return w
+	}
+	return a
+}
+
+// Matrixssl2014_1569 is the analog of CVE-2014-1569: x.509
+// certificate verification copies a DER element into a fixed stack
+// buffer trusting the attacker-controlled length field.
+func Matrixssl2014_1569() *App {
+	a := &App{
+		QueryBudget: 10000,
+		Name:        "Matrixssl-2014-1569",
+		BugType:     "Stack buffer overrun",
+		Kind:        vm.FailOutOfBounds,
+		Src: `
+// mini-matrixssl: each certificate is read into a buffer and parsed
+// DER-style with a cursor: version TLV, subject TLV, OID TLV. Length
+// fields come from the wire, so the cursor is attacker-controlled.
+int certs_ok = 0;
+
+func parse_cert() int {
+	int total = input32("tls");
+	if (total < 8 || total > 512) { return -1; }
+	char *der = malloc(total);
+	for (int i = 0; i < total; i = i + 1) { der[i] = input8("tls"); }
+	int pos = 0;
+	// version TLV
+	int vtag = (int)der[pos];
+	int vlen = (int)der[pos + 1];
+	pos = pos + 2;
+	if (vtag != 2 || vlen != 1) { free(der); return -1; }
+	int version = (int)der[pos];
+	pos = pos + 1;
+	if (version < 1 || version > 3) { free(der); return -1; }
+	// subject TLV: length-checked against the buffer
+	int stag = (int)der[pos];
+	int slen = (int)der[pos + 1];
+	pos = pos + 2;
+	if (stag != 12 || slen < 0 || pos + slen > total) { free(der); return -1; }
+	int ssum = 0;
+	for (int i = 0; i < slen; i = i + 1) { ssum = ssum + (int)der[pos + i]; }
+	pos = pos + slen;
+	// OID TLV
+	if (pos + 2 > total) { free(der); return -1; }
+	int otag = (int)der[pos];
+	int olen = (int)der[pos + 1];
+	pos = pos + 2;
+	if (otag != 6 || pos + olen > total) { free(der); return -1; }
+	// BUG: olen is checked against the buffer but not against the
+	// 16-byte stack destination (the fix bounds olen by
+	// sizeof(oid)).
+	char oid[16];
+	for (int i = 0; i < olen; i = i + 1) {
+		oid[i] = der[pos + i];
+	}
+	int osum = 0;
+	for (int i = 0; i < olen; i = i + 1) { osum = osum + (int)oid[i]; }
+	free(der);
+	output(ssum + osum);
+	certs_ok = certs_ok + 1;
+	return 1;
+}
+
+func main() int {
+	int chain = input32("tls");
+	if (chain < 0 || chain > 32) { return -1; }
+	for (int c = 0; c < chain; c = c + 1) {
+		if (parse_cert() < 0) { output(0 - 1); }
+	}
+	return certs_ok;
+}`,
+	}
+	// derCert serializes one certificate in the wire format.
+	derCert := func(w *vm.Workload, version int, subject []uint64, oid []uint64) {
+		total := 3 + 2 + len(subject) + 2 + len(oid)
+		w.Add("tls", uint64(total))
+		w.Add("tls", 2, 1, uint64(version))
+		w.Add("tls", 12, uint64(len(subject)))
+		w.Add("tls", subject...)
+		w.Add("tls", 6, uint64(len(oid)))
+		w.Add("tls", oid...)
+	}
+	a.Failing = func() *vm.Workload {
+		w := vm.NewWorkload()
+		r := newRand(17)
+		w.Add("tls", 4) // four certs in the chain
+		for c := 0; c < 3; c++ {
+			subject := make([]uint64, int(r.intn(12))+4)
+			for i := range subject {
+				subject[i] = r.intn(96) + 32
+			}
+			derCert(w, 3, subject, []uint64{1, 2, 3})
+		}
+		// malicious cert: oid length 24 overruns the 16-byte buffer
+		oid := make([]uint64, 24)
+		for i := range oid {
+			oid[i] = uint64(i + 1)
+		}
+		derCert(w, 3, []uint64{50, 51}, oid)
+		return w
+	}
+	a.Benign = func(i int) *vm.Workload {
+		r := newRand(int64(i) + 71)
+		w := vm.NewWorkload()
+		chain := 16
+		w.Add("tls", uint64(chain))
+		for c := 0; c < chain; c++ {
+			subject := make([]uint64, int(r.intn(64))+1)
+			for b := range subject {
+				subject[b] = r.intn(256)
+			}
+			oid := make([]uint64, int(r.intn(12))+1)
+			for b := range oid {
+				oid[b] = r.intn(128)
+			}
+			derCert(w, int(r.intn(3))+1, subject, oid)
+		}
+		return w
+	}
+	return a
+}
+
+// Libpng2004_0597 is the analog of CVE-2004-0597: libpng's row
+// decoder trusts a length field in compressed image data, overflowing
+// the row buffer allocated from the header's width.
+func Libpng2004_0597() *App {
+	a := &App{
+		QueryBudget: 10000,
+		Name:        "Libpng-2004-0597",
+		BugType:     "Buffer overflow",
+		Kind:        vm.FailOutOfBounds,
+		Src: `
+// mini-libpng: images are width/height plus per-row RLE chunks
+// (runlen, value) that must exactly fill each row.
+int images_ok = 0;
+
+func decode_row(char *row, int width) int {
+	int filled = 0;
+	while (filled < width) {
+		int run = input32("png");
+		int value = input32("png");
+		if (run <= 0) { return -1; }
+		// BUG: run is not clamped to the row remainder (the fix
+		// rejects run > width - filled).
+		for (int i = 0; i < run; i = i + 1) {
+			row[filled + i] = (char)value;
+		}
+		filled = filled + run;
+	}
+	return filled;
+}
+
+func decode_image() int {
+	int width = input32("png");
+	int height = input32("png");
+	if (width <= 0 || width > 512 || height <= 0 || height > 64) { return -1; }
+	char *row = malloc(width);
+	int acc = 0;
+	for (int y = 0; y < height; y = y + 1) {
+		if (decode_row(row, width) < 0) { free(row); return -1; }
+		for (int x = 0; x < width; x = x + 1) { acc = acc + (int)row[x]; }
+	}
+	free(row);
+	images_ok = images_ok + 1;
+	return acc;
+}
+
+func main() int {
+	int files = input32("png");
+	if (files < 0 || files > 1200) { return -1; }
+	for (int f = 0; f < files; f = f + 1) {
+		output(decode_image());
+	}
+	return images_ok;
+}`,
+	}
+	a.Failing = func() *vm.Workload {
+		w := vm.NewWorkload()
+		r := newRand(31)
+		w.Add("png", 7)
+		for f := 0; f < 6; f++ {
+			width := int(r.intn(10)) + 3
+			height := int(r.intn(3)) + 1
+			w.Add("png", uint64(width), uint64(height))
+			for y := 0; y < height; y++ {
+				left := width
+				for left > 0 {
+					run := int(r.intn(uint64min(5, left))) + 1
+					if run > left {
+						run = left
+					}
+					w.Add("png", uint64(run), r.intn(256))
+					left -= run
+				}
+			}
+		}
+		// malicious 8x1: run 20 overruns the 8-byte row
+		w.Add("png", 8, 1, 3, 1, 20, 7)
+		return w
+	}
+	a.Benign = func(i int) *vm.Workload {
+		r := newRand(int64(i) + 81)
+		w := vm.NewWorkload()
+		files := 40 // the paper's benchmark reads ~1000 small files
+		w.Add("png", uint64(files))
+		for f := 0; f < files; f++ {
+			width := int(r.intn(24)) + 4
+			height := int(r.intn(6)) + 1
+			w.Add("png", uint64(width), uint64(height))
+			for y := 0; y < height; y++ {
+				left := width
+				for left > 0 {
+					run := int(r.intn(uint64min(8, left))) + 1
+					if run > left {
+						run = left
+					}
+					w.Add("png", uint64(run), r.intn(256))
+					left -= run
+				}
+			}
+		}
+		return w
+	}
+	return a
+}
+
+func uint64min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Bash108885 is the analog of GNU bash support request 108885: a
+// 4-byte script triggers a NULL pointer dereference and segfault in
+// the parser/executor hand-off (a function definition with an empty
+// body produces a command node the executor does not expect).
+func Bash108885() *App {
+	a := &App{
+		QueryBudget: 5000,
+		Name:        "Bash-108885",
+		BugType:     "NULL pointer dereference",
+		Kind:        vm.FailNullDeref,
+		Src: `
+// mini-bash: read a script into a buffer, tokenize it into words and
+// operators, build heap command records [kind, payload, body], and
+// execute them.
+int executed = 0;
+char script_buf[64];
+int script_len = 0;
+int script_pos = 0;
+
+// token kinds: 0 eof, 1 word, 2 '(', 3 ')', 4 ';', 5 newline
+func next_token() int {
+	if (script_pos >= script_len) { return 0; }
+	int c = (int)script_buf[script_pos];
+	script_pos = script_pos + 1;
+	if (c == '(') { return 2; }
+	if (c == ')') { return 3; }
+	if (c == ';') { return 4; }
+	if (c == 10) { return 5; }
+	if (c == 0) { return 0; }
+	return 1;
+}
+
+func make_cmd(long kind, long payload) long {
+	long *cmd = (long*)malloc(24);
+	cmd[0] = kind;
+	cmd[1] = payload;
+	cmd[2] = 0;
+	return (long)cmd;
+}
+
+// parse one command; returns a command record or 0
+func parse_cmd() long {
+	int t = next_token();
+	if (t == 0) { return 0; }
+	if (t == 1) {
+		int t2 = next_token();
+		if (t2 == 2) {
+			int t3 = next_token();
+			if (t3 == 3) {
+				// "name()" — function definition. BUG: an empty
+				// function body yields a NULL body pointer that the
+				// definition node stores and execution dereferences
+				// (the fix inserts an empty-command node).
+				long body = 0;
+				if (script_len - script_pos > 1) { body = parse_cmd(); }
+				long def = make_cmd(7, 0);
+				long *d = (long*)def;
+				d[2] = body;
+				return def;
+			}
+			return 0;
+		}
+		// simple command: word followed by a terminator
+		return make_cmd(1, (long)t2);
+	}
+	if (t == 5 || t == 4) { return parse_cmd(); }
+	return 0;
+}
+
+func execute(long cmd) int {
+	if (cmd == 0) { return 0; }
+	long *c = (long*)cmd;
+	long kind = c[0];
+	if (kind == 1) { executed = executed + 1; return 1; }
+	if (kind == 7) {
+		// executing a function definition touches its body record
+		long *body = (long*)c[2];
+		long bk = body[0]; // NULL deref for an empty body
+		executed = executed + 1;
+		return (int)bk;
+	}
+	return 0;
+}
+
+func main() int {
+	int scripts = input32("script");
+	if (scripts < 0 || scripts > 256) { return -1; }
+	for (int s = 0; s < scripts; s = s + 1) {
+		int len = input32("script");
+		if (len < 0 || len > 64) { return -1; }
+		for (int i = 0; i < len; i = i + 1) { script_buf[i] = input8("script"); }
+		script_len = len;
+		script_pos = 0;
+		long cmd = parse_cmd();
+		output(execute(cmd));
+	}
+	return executed;
+}`,
+	}
+	a.Failing = func() *vm.Workload {
+		w := vm.NewWorkload()
+		r := newRand(37)
+		w.Add("script", 12)
+		for sidx := 0; sidx < 11; sidx++ {
+			w.Add("script", 4, r.intn(26)+'a', r.intn(26)+'a', ';', 10)
+		}
+		// the 4-byte killer: "x()\n" -> function def with empty body
+		w.Add("script", 4, 'x', '(', ')', 10)
+		return w
+	}
+	a.Benign = func(i int) *vm.Workload {
+		r := newRand(int64(i) + 91)
+		w := vm.NewWorkload()
+		scripts := 80 // quicksort-in-bash analog: many tiny commands
+		w.Add("script", uint64(scripts))
+		for s := 0; s < scripts; s++ {
+			w.Add("script", 4, r.intn(26)+'a', r.intn(26)+'a', ';', 10)
+		}
+		return w
+	}
+	return a
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"execrecon/internal/apps"
+	"execrecon/internal/ir"
+	"execrecon/internal/keyselect"
+	"execrecon/internal/pt"
+	"execrecon/internal/symex"
+	"execrecon/internal/vm"
+)
+
+// Fig5Series is one curve of Fig. 5: symbolic execution progress
+// (instructions executed over wall time) under one recording
+// configuration.
+type Fig5Series struct {
+	Label  string
+	Points []symex.ProgressPoint
+	// Total is the wall time to execute the full instruction count.
+	Total  time.Duration
+	Instrs int64
+}
+
+// Fig5Result carries the three curves of Fig. 5 (no data values,
+// first-iteration values, second-iteration values).
+type Fig5Result struct {
+	App    string
+	Series []Fig5Series
+}
+
+// RunFig5 reproduces Fig. 5 on the PHP-74194 analog: it derives the
+// iteration-1 and iteration-2 instrumentation sets through the real
+// ER loop, then re-runs shepherded symbolic execution with the solver
+// timeout disabled under each of the three recording configurations,
+// measuring the time to symbolically execute the same instructions.
+func RunFig5(appName string) (*Fig5Result, error) {
+	if appName == "" {
+		appName = "PHP-74194"
+	}
+	a := apps.ByName(appName)
+	if a == nil {
+		return nil, fmt.Errorf("bench: unknown app %q", appName)
+	}
+	mod, err := a.Module()
+	if err != nil {
+		return nil, err
+	}
+
+	// Derive up to two instrumentation generations by running the
+	// stall/select cycle with a tightly constrained solver budget
+	// (half the app's configured timeout analog), so two distinct
+	// recording generations emerge.
+	budget := a.QueryBudget / 2
+	if budget == 0 {
+		budget = 2000
+	}
+	modules := []*ir.Module{mod} // generation 0: control flow only
+	cur := mod
+	for gen := 0; gen < 2; gen++ {
+		trace, failRes, err := record(cur, a.Failing(), a.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sres := symex.New(cur, trace, failRes.Failure, symex.Options{QueryBudget: budget}).Run("main")
+		if sres.Status != symex.StatusStalled {
+			// Converged early: reuse the last instrumentation for
+			// the remaining generation.
+			modules = append(modules, cur)
+			continue
+		}
+		sel, err := keyselect.Select(sres)
+		if err != nil {
+			return nil, err
+		}
+		cur, err = keyselect.Instrument(cur, sel.Sites)
+		if err != nil {
+			return nil, err
+		}
+		modules = append(modules, cur)
+	}
+
+	labels := []string{
+		"control-flow + no data values",
+		"control-flow + 1st iteration data values",
+		"control-flow + 2nd iteration data values",
+	}
+	res := &Fig5Result{App: a.Name}
+	for i, m := range modules {
+		trace, failRes, err := record(m, a.Failing(), a.Seed)
+		if err != nil {
+			return nil, err
+		}
+		// Solver timeout disabled (§5.2): every configuration
+		// executes the same instructions to completion.
+		eng := symex.New(m, trace, failRes.Failure, symex.Options{ProgressEvery: 64})
+		sres := eng.Run("main")
+		if sres.Status != symex.StatusCompleted {
+			return nil, fmt.Errorf("bench: fig5 generation %d: %v (%v)", i, sres.Status, sres.Err)
+		}
+		res.Series = append(res.Series, Fig5Series{
+			Label:  labels[i],
+			Points: sres.Progress,
+			Total:  sres.Stats.Elapsed,
+			Instrs: sres.Stats.Instrs,
+		})
+	}
+	return res, nil
+}
+
+// record runs one traced failing execution.
+func record(mod *ir.Module, w *vm.Workload, seed int64) (*pt.Trace, *vm.Result, error) {
+	ring := pt.NewRing(pt.DefaultRingSize)
+	enc := pt.NewEncoder(ring)
+	res := vm.New(mod, vm.Config{Input: w, Tracer: enc, Seed: seed}).Run("main")
+	if res.Failure == nil {
+		return nil, nil, fmt.Errorf("bench: workload did not fail")
+	}
+	enc.Finish()
+	tr, err := pt.Decode(ring)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, res, nil
+}
+
+// RenderFig5 prints the series: per configuration, total time and a
+// coarse progress curve (CSV-like rows usable for plotting).
+func RenderFig5(w io.Writer, r *Fig5Result) {
+	fmt.Fprintf(w, "Fig 5 — shepherded symbolic execution progress, %s\n", r.App)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "%-45s total %10v for %d instructions\n",
+			s.Label, s.Total.Round(time.Microsecond), s.Instrs)
+	}
+	fmt.Fprintln(w, "\nseries,instructions,milliseconds")
+	for si, s := range r.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%d,%d,%.3f\n", si, p.Instrs, float64(p.Elapsed.Microseconds())/1000)
+		}
+	}
+}

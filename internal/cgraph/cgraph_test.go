@@ -1,0 +1,128 @@
+package cgraph
+
+import (
+	"testing"
+
+	"execrecon/internal/expr"
+)
+
+// buildChainedState creates an object with n symbolic-index stores.
+func buildChainedState(b *expr.Builder, n int, prefix string) *expr.Expr {
+	arr := b.ConstArray(b.Const(0, 8), 32)
+	for i := 0; i < n; i++ {
+		idx := b.Var(prefix+"i"+string(rune('0'+i)), 32)
+		val := b.Var(prefix+"v"+string(rune('0'+i)), 8)
+		arr = b.Store(arr, idx, val)
+	}
+	return arr
+}
+
+func TestChainDetection(t *testing.T) {
+	b := expr.NewBuilder()
+	objs := []Object{
+		{Label: "small", Size: 16, Arr: buildChainedState(b, 2, "s")},
+		{Label: "big", Size: 4096, Arr: buildChainedState(b, 5, "b")},
+		{Label: "concrete", Size: 64, Arr: b.Store(b.ConstArray(b.Const(0, 8), 32), b.Const(3, 32), b.Const(9, 8))},
+	}
+	g := Build(nil, objs)
+	long := g.LongestWriteChain()
+	if long == nil || long.Object.Label != "big" || long.SymWrites != 5 {
+		t.Fatalf("longest chain: %+v", long)
+	}
+	large := g.LargestObjectChain()
+	if large == nil || large.Object.Label != "big" {
+		t.Fatalf("largest chain: %+v", large)
+	}
+	// The concrete store must not count as a symbolic write.
+	for _, c := range g.Chains {
+		if c.Object.Label == "concrete" && c.SymWrites != 0 {
+			t.Errorf("concrete chain counted symbolic writes: %d", c.SymWrites)
+		}
+	}
+}
+
+func TestBottleneckSet(t *testing.T) {
+	b := expr.NewBuilder()
+	// One chain is both longest and largest: bottleneck = its
+	// symbolic indices and values, deduplicated.
+	i1 := b.Var("i1", 32)
+	v1 := b.Var("v1", 8)
+	arr := b.Store(b.ConstArray(b.Const(0, 8), 32), i1, v1)
+	arr = b.Store(arr, b.Add(i1, b.Const(1, 32)), b.Const(7, 8))
+	g := Build(nil, []Object{{Label: "o", Size: 128, Arr: arr}})
+	bs := g.BottleneckSet()
+	if len(bs) != 3 { // i1, v1, i1+1
+		t.Fatalf("bottleneck: %d elements (%v)", len(bs), bs)
+	}
+	seen := map[*expr.Expr]bool{}
+	for _, e := range bs {
+		if seen[e] {
+			t.Error("duplicate in bottleneck")
+		}
+		seen[e] = true
+		if e.IsConst() {
+			t.Error("constant in bottleneck")
+		}
+	}
+}
+
+func TestBottleneckMergesTwoChains(t *testing.T) {
+	b := expr.NewBuilder()
+	// Longest chain (3 writes, small object) and largest object
+	// (1 write, big) are distinct: both contribute.
+	objs := []Object{
+		{Label: "long", Size: 8, Arr: buildChainedState(b, 3, "l")},
+		{Label: "huge", Size: 1 << 20, Arr: buildChainedState(b, 1, "h")},
+	}
+	g := Build(nil, objs)
+	bs := g.BottleneckSet()
+	if len(bs) != 8 { // 3*(idx+val) + 1*(idx+val)
+		t.Fatalf("bottleneck size %d, want 8", len(bs))
+	}
+}
+
+func TestReadIndexSet(t *testing.T) {
+	b := expr.NewBuilder()
+	arr := b.ArrayVar("A", 32, 8)
+	i := b.Var("i", 32)
+	j := b.Var("j", 32)
+	pc := []*expr.Expr{
+		b.Eq(b.Select(arr, i), b.Const(1, 8)),
+		b.Eq(b.Select(arr, b.Add(j, b.Const(2, 32))), b.Const(2, 8)),
+		b.Eq(b.Select(arr, b.Const(5, 32)), b.Const(3, 8)), // concrete: excluded
+	}
+	g := Build(pc, nil)
+	ris := g.ReadIndexSet()
+	if len(ris) != 2 {
+		t.Fatalf("read index set: %v", ris)
+	}
+}
+
+func TestNumNodesAndSymbolic(t *testing.T) {
+	b := expr.NewBuilder()
+	x := b.Var("x", 32)
+	pc := []*expr.Expr{b.Ult(b.Add(x, b.Const(1, 32)), b.Const(10, 32))}
+	g := Build(pc, nil)
+	if g.NumNodes() < 4 {
+		t.Errorf("nodes: %d", g.NumNodes())
+	}
+	sn := g.SymbolicNodes()
+	if len(sn) < 2 { // x, x+1, the comparison
+		t.Errorf("symbolic nodes: %d", len(sn))
+	}
+	for _, n := range sn {
+		if n.IsConst() || n.IsArray() {
+			t.Errorf("bad symbolic node %v", n)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := Build(nil, nil)
+	if g.LongestWriteChain() != nil || g.LargestObjectChain() != nil {
+		t.Error("chains in empty graph")
+	}
+	if len(g.BottleneckSet()) != 0 {
+		t.Error("nonempty bottleneck in empty graph")
+	}
+}

@@ -1,0 +1,282 @@
+// Package core implements the end-to-end Execution Reconstruction
+// loop of Fig. 2: deploy the (possibly instrumented) program in the
+// simulated production environment, wait for the failure to reoccur,
+// ship the trace to shepherded symbolic execution, and either emit a
+// verified failure-reproducing test case or run key data value
+// selection, re-instrument, and iterate (§3.3.4).
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"execrecon/internal/ir"
+	"execrecon/internal/keyselect"
+	"execrecon/internal/pt"
+	"execrecon/internal/symex"
+	"execrecon/internal/vm"
+)
+
+// WorkloadGen produces the inputs and scheduler seed of each
+// production run. Occurrence numbering is 1-based and counts only
+// failing runs; generators may interleave benign traffic internally.
+type WorkloadGen interface {
+	// Run returns the workload and scheduler seed of the n-th
+	// production run (0-based).
+	Run(n int) (*vm.Workload, int64)
+}
+
+// FixedWorkload is a WorkloadGen replaying the same failing input
+// every run — the simplest reoccurrence model.
+type FixedWorkload struct {
+	Workload *vm.Workload
+	Seed     int64
+}
+
+// Run implements WorkloadGen.
+func (f *FixedWorkload) Run(int) (*vm.Workload, int64) {
+	return f.Workload.Clone(), f.Seed
+}
+
+// Config parameterizes a reproduction session.
+type Config struct {
+	Module *ir.Module
+	Entry  string // defaults to "main"
+	// Gen supplies production inputs; at least some runs must fail.
+	Gen WorkloadGen
+	// Symex configures shepherded symbolic execution. The
+	// QueryBudget plays the role of the paper's 30-second solver
+	// timeout.
+	Symex symex.Options
+	// MaxIterations bounds the reoccurrence loop (default 16).
+	MaxIterations int
+	// MaxRunsPerIteration bounds production runs awaited per
+	// failure reoccurrence (default 1000).
+	MaxRunsPerIteration int
+	// RingSize is the trace buffer capacity (default 64 MB).
+	RingSize int
+	// DeferTracing, when positive, leaves control-flow tracing off
+	// until the failure has been observed that many times (§3.1:
+	// "developers can configure ER to enable tracing only after a
+	// failure is observed multiple times"). Untraced failures count
+	// toward Occurrences but yield no trace to analyze.
+	DeferTracing int
+	// Log, when set, receives progress lines.
+	Log io.Writer
+	// RandomSelection replaces key data value selection with a
+	// same-budget random choice — the §5.2 baseline.
+	RandomSelection bool
+	// RandomSeed seeds the random-selection baseline.
+	RandomSeed int64
+}
+
+// Iteration reports one pass of the loop.
+type Iteration struct {
+	Occurrence  int
+	TraceEvents int
+	TraceBytes  uint64
+	Status      symex.Status
+	StallReason string
+	SymexTime   time.Duration
+	SymexInstrs int64
+	Queries     int64
+	GraphNodes  int
+	SelectTime  time.Duration
+	// Recording describes what the next deployment will record.
+	RecordingSites int
+	RecordingCost  int64
+}
+
+// Report is the outcome of a reproduction session.
+type Report struct {
+	Reproduced  bool
+	Verified    bool
+	Occurrences int
+	Iterations  []Iteration
+	TestCase    *vm.Workload
+	Failure     *vm.Failure
+	// TotalSymexTime sums shepherded symbolic execution time across
+	// iterations ("Symbex Time" of Table 1).
+	TotalSymexTime time.Duration
+	// TraceInstrs is the dynamic instruction count of the failing
+	// execution ("#Instr" of Table 1).
+	TraceInstrs int64
+	FailReason  string
+}
+
+func (c *Config) logf(format string, args ...interface{}) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// Reproduce runs the ER loop to completion.
+func Reproduce(cfg Config) (*Report, error) {
+	if cfg.Entry == "" {
+		cfg.Entry = "main"
+	}
+	if cfg.MaxIterations == 0 {
+		cfg.MaxIterations = 16
+	}
+	if cfg.MaxRunsPerIteration == 0 {
+		cfg.MaxRunsPerIteration = 1000
+	}
+	if cfg.RingSize == 0 {
+		cfg.RingSize = pt.DefaultRingSize
+	}
+	if err := cfg.Module.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid module: %w", err)
+	}
+
+	deployed := cfg.Module
+	rep := &Report{}
+	var signature *vm.Failure
+	runIdx := 0
+
+	// Deferred-tracing phase: observe (but do not trace) the first
+	// occurrences.
+	for d := 0; d < cfg.DeferTracing; d++ {
+		failRes, err := awaitUntracedFailure(&cfg, deployed, &runIdx, signature)
+		if err != nil {
+			rep.FailReason = err.Error()
+			return rep, err
+		}
+		if signature == nil {
+			signature = failRes.Failure
+			rep.Failure = signature
+			rep.TraceInstrs = failRes.Stats.Instrs
+		}
+		rep.Occurrences++
+		cfg.logf("untraced occurrence %d observed; tracing still deferred", rep.Occurrences)
+	}
+
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		// Online phase: run production until the failure reoccurs.
+		trace, failRes, err := awaitFailure(&cfg, deployed, &runIdx, signature)
+		if err != nil {
+			rep.FailReason = err.Error()
+			return rep, err
+		}
+		if signature == nil {
+			signature = failRes.Failure
+			rep.Failure = signature
+			rep.TraceInstrs = failRes.Stats.Instrs
+		}
+		rep.Occurrences++
+		it := Iteration{
+			Occurrence:  rep.Occurrences,
+			TraceEvents: len(trace.Events),
+		}
+
+		// Offline phase: shepherded symbolic execution.
+		eng := symex.New(deployed, trace, failRes.Failure, cfg.Symex)
+		sres := eng.Run(cfg.Entry)
+		it.Status = sres.Status
+		it.StallReason = sres.StallReason
+		it.SymexTime = sres.Stats.Elapsed
+		it.SymexInstrs = sres.Stats.Instrs
+		it.Queries = sres.Stats.SolverQueries
+		it.GraphNodes = sres.Stats.GraphNodes
+		rep.TotalSymexTime += sres.Stats.Elapsed
+
+		switch sres.Status {
+		case symex.StatusCompleted:
+			rep.Iterations = append(rep.Iterations, it)
+			rep.Reproduced = true
+			rep.TestCase = sres.TestCase
+			// Verify: the generated input must reproduce the same
+			// failure signature on a fresh concrete run.
+			_, seed := cfg.Gen.Run(0)
+			ver := vm.New(cfg.Module, vm.Config{Input: sres.TestCase.Clone(), Seed: seed}).Run(cfg.Entry)
+			rep.Verified = ver.Failure.SameSignature(signature)
+			cfg.logf("iteration %d: reproduced after %d occurrence(s); verified=%v",
+				iter+1, rep.Occurrences, rep.Verified)
+			return rep, nil
+
+		case symex.StatusStalled:
+			cfg.logf("iteration %d: stalled (%s); selecting key data values", iter+1, sres.StallReason)
+			var sites []symex.SiteKey
+			var cost int64
+			selStart := time.Now()
+			if cfg.RandomSelection {
+				sites, cost, err = randomSelection(sres, cfg.RandomSeed+int64(iter))
+			} else {
+				var sel *keyselect.Selection
+				sel, err = keyselect.Select(sres)
+				if err == nil {
+					sites, cost = sel.Sites, sel.TotalCostBytes
+				}
+			}
+			it.SelectTime = time.Since(selStart)
+			if err != nil {
+				rep.Iterations = append(rep.Iterations, it)
+				rep.FailReason = err.Error()
+				return rep, fmt.Errorf("core: selection failed: %w", err)
+			}
+			it.RecordingSites = len(sites)
+			it.RecordingCost = cost
+			rep.Iterations = append(rep.Iterations, it)
+			deployed, err = keyselect.Instrument(deployed, sites)
+			if err != nil {
+				rep.FailReason = err.Error()
+				return rep, err
+			}
+			cfg.logf("iteration %d: instrumenting %d site(s), cost %d bytes/occurrence",
+				iter+1, len(sites), cost)
+
+		default:
+			rep.Iterations = append(rep.Iterations, it)
+			rep.FailReason = fmt.Sprintf("symbolic execution %v: %v", sres.Status, sres.Err)
+			return rep, fmt.Errorf("core: %s", rep.FailReason)
+		}
+	}
+	rep.FailReason = fmt.Sprintf("not reproduced within %d iterations", cfg.MaxIterations)
+	return rep, nil
+}
+
+// awaitUntracedFailure runs production workloads without any tracer
+// until the (matching) failure occurs.
+func awaitUntracedFailure(cfg *Config, mod *ir.Module, runIdx *int, signature *vm.Failure) (*vm.Result, error) {
+	for tries := 0; tries < cfg.MaxRunsPerIteration; tries++ {
+		w, seed := cfg.Gen.Run(*runIdx)
+		*runIdx++
+		res := vm.New(mod, vm.Config{Input: w, Seed: seed}).Run(cfg.Entry)
+		if res.Failure == nil {
+			continue
+		}
+		if signature != nil && !res.Failure.SameSignature(signature) {
+			continue
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("core: failure did not reoccur within %d runs", cfg.MaxRunsPerIteration)
+}
+
+// awaitFailure runs production workloads until a failure (matching
+// the signature, if known) occurs, returning its decoded trace.
+func awaitFailure(cfg *Config, mod *ir.Module, runIdx *int, signature *vm.Failure) (*pt.Trace, *vm.Result, error) {
+	for tries := 0; tries < cfg.MaxRunsPerIteration; tries++ {
+		w, seed := cfg.Gen.Run(*runIdx)
+		*runIdx++
+		ring := pt.NewRing(cfg.RingSize)
+		enc := pt.NewEncoder(ring)
+		res := vm.New(mod, vm.Config{Input: w, Tracer: enc, Seed: seed}).Run(cfg.Entry)
+		if res.Failure == nil {
+			continue
+		}
+		if signature != nil && !res.Failure.SameSignature(signature) {
+			continue // a different bug; keep waiting for ours
+		}
+		enc.Finish()
+		trace, err := pt.Decode(ring)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: trace decode: %w", err)
+		}
+		if trace.Truncated {
+			return nil, nil, fmt.Errorf("core: trace ring overflowed (%d bytes lost); increase RingSize", trace.LostBytes)
+		}
+		return trace, res, nil
+	}
+	return nil, nil, fmt.Errorf("core: failure did not reoccur within %d runs", cfg.MaxRunsPerIteration)
+}

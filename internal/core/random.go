@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"execrecon/internal/cgraph"
+	"execrecon/internal/expr"
+	"execrecon/internal/keyselect"
+	"execrecon/internal/symex"
+)
+
+// randomSelection is the §5.2 baseline: record the same byte budget
+// that key data value selection would spend, but pick the data
+// elements uniformly at random among all symbolic nodes of the
+// constraint graph.
+func randomSelection(res *symex.Result, seed int64) ([]symex.SiteKey, int64, error) {
+	sel, err := keyselect.Select(res)
+	if err != nil {
+		return nil, 0, err
+	}
+	budget := sel.TotalCostBytes
+
+	objs := make([]cgraph.Object, 0, len(res.Objects))
+	for _, o := range res.Objects {
+		objs = append(objs, cgraph.Object{Label: o.Label, Size: o.Size, Arr: o.Arr})
+	}
+	g := cgraph.Build(res.PathConstraint, objs)
+	nodes := g.SymbolicNodes()
+
+	// Keep only recordable nodes (those with a defining site).
+	type cand struct {
+		e    *expr.Expr
+		site symex.SiteKey
+		cost int64
+	}
+	var cands []cand
+	for _, n := range nodes {
+		site, ok := res.ExprSites[n.ID()]
+		if !ok {
+			continue
+		}
+		st := res.Sites[site]
+		if st == nil {
+			continue
+		}
+		cands = append(cands, cand{e: n, site: site, cost: int64(st.Width.Bytes()) * st.Count})
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+
+	var sites []symex.SiteKey
+	seen := make(map[symex.SiteKey]bool)
+	var spent int64
+	for _, c := range cands {
+		if spent >= budget {
+			break
+		}
+		if seen[c.site] {
+			continue
+		}
+		seen[c.site] = true
+		sites = append(sites, c.site)
+		spent += c.cost
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		a, b := sites[i], sites[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.InstrID < b.InstrID
+	})
+	return sites, spent, nil
+}

@@ -1,0 +1,255 @@
+package expr
+
+import "fmt"
+
+// Assignment maps variable names to concrete values: bitvector
+// variables to uint64 values (truncated to their width) and array
+// variables to index→value maps with a default.
+type Assignment struct {
+	Vars   map[string]uint64
+	Arrays map[string]*ArrayValue
+}
+
+// ArrayValue is a concrete array: explicit entries over a default.
+type ArrayValue struct {
+	Elems   map[uint64]uint64
+	Default uint64
+}
+
+// Get returns the value at index i.
+func (a *ArrayValue) Get(i uint64) uint64 {
+	if v, ok := a.Elems[i]; ok {
+		return v
+	}
+	return a.Default
+}
+
+// NewAssignment returns an empty assignment.
+func NewAssignment() *Assignment {
+	return &Assignment{Vars: make(map[string]uint64), Arrays: make(map[string]*ArrayValue)}
+}
+
+// evalArray evaluates an array-sorted expression to a concrete
+// ArrayValue.
+func (asn *Assignment) evalArray(e *Expr) (*ArrayValue, error) {
+	switch e.Kind {
+	case KArrayVar:
+		if av, ok := asn.Arrays[e.Name]; ok {
+			return av, nil
+		}
+		// Unassigned arrays default to all-zero.
+		return &ArrayValue{Elems: map[uint64]uint64{}}, nil
+	case KConstArray:
+		d, err := asn.Eval(e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return &ArrayValue{Elems: map[uint64]uint64{}, Default: d}, nil
+	case KStore:
+		base, err := asn.evalArray(e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		idx, err := asn.Eval(e.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		val, err := asn.Eval(e.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		elems := make(map[uint64]uint64, len(base.Elems)+1)
+		for k, v := range base.Elems {
+			elems[k] = v
+		}
+		elems[idx] = val
+		return &ArrayValue{Elems: elems, Default: base.Default}, nil
+	case KIte:
+		c, err := asn.Eval(e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if c != 0 {
+			return asn.evalArray(e.Args[1])
+		}
+		return asn.evalArray(e.Args[2])
+	}
+	return nil, fmt.Errorf("expr: evalArray on %s", e.Kind)
+}
+
+// Eval evaluates a bitvector expression under the assignment,
+// returning the value truncated to the expression's width. Unassigned
+// variables evaluate to zero.
+func (asn *Assignment) Eval(e *Expr) (uint64, error) {
+	switch e.Kind {
+	case KConst:
+		return e.Val, nil
+	case KVar:
+		return Truncate(asn.Vars[e.Name], e.Width), nil
+	case KSelect:
+		arr, err := asn.evalArray(e.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		idx, err := asn.Eval(e.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		return Truncate(arr.Get(idx), e.Width), nil
+	}
+	// Evaluate bitvector operands.
+	var a, c, d uint64
+	var err error
+	if len(e.Args) > 0 && !e.Args[0].IsArray() {
+		if a, err = asn.Eval(e.Args[0]); err != nil {
+			return 0, err
+		}
+	}
+	if len(e.Args) > 1 && !e.Args[1].IsArray() {
+		if c, err = asn.Eval(e.Args[1]); err != nil {
+			return 0, err
+		}
+	}
+	if len(e.Args) > 2 && !e.Args[2].IsArray() {
+		if d, err = asn.Eval(e.Args[2]); err != nil {
+			return 0, err
+		}
+	}
+	w := e.Width
+	bool2 := func(v bool) (uint64, error) {
+		if v {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	switch e.Kind {
+	case KAdd:
+		return Truncate(a+c, w), nil
+	case KSub:
+		return Truncate(a-c, w), nil
+	case KMul:
+		return Truncate(a*c, w), nil
+	case KUDiv:
+		if c == 0 {
+			return mask(w), nil
+		}
+		return Truncate(a/c, w), nil
+	case KURem:
+		if c == 0 {
+			return a, nil
+		}
+		return Truncate(a%c, w), nil
+	case KSDiv:
+		xa, xc := SignExtendValue(a, e.Args[0].Width), SignExtendValue(c, e.Args[1].Width)
+		if xc == 0 {
+			if xa >= 0 {
+				return mask(w), nil
+			}
+			return 1, nil
+		}
+		if xc == -1 && xa == -9223372036854775808 {
+			return a, nil // MIN/-1 wraps to MIN in two's complement
+		}
+		return Truncate(uint64(xa/xc), w), nil
+	case KSRem:
+		xa, xc := SignExtendValue(a, e.Args[0].Width), SignExtendValue(c, e.Args[1].Width)
+		if xc == 0 {
+			return a, nil
+		}
+		if xc == -1 {
+			return 0, nil
+		}
+		return Truncate(uint64(xa%xc), w), nil
+	case KAnd:
+		return a & c, nil
+	case KOr:
+		return a | c, nil
+	case KXor:
+		return a ^ c, nil
+	case KNot:
+		return Truncate(^a, w), nil
+	case KNeg:
+		return Truncate(-a, w), nil
+	case KShl:
+		if c >= uint64(w) {
+			return 0, nil
+		}
+		return Truncate(a<<c, w), nil
+	case KLShr:
+		if c >= uint64(w) {
+			return 0, nil
+		}
+		return a >> c, nil
+	case KAShr:
+		sh := c
+		if sh >= uint64(w) {
+			sh = uint64(w) - 1
+		}
+		return Truncate(uint64(SignExtendValue(a, e.Args[0].Width)>>sh), w), nil
+	case KEq:
+		if e.Args[0].IsArray() {
+			return 0, fmt.Errorf("expr: array equality not supported")
+		}
+		return bool2(a == c)
+	case KUlt:
+		return bool2(a < c)
+	case KUle:
+		return bool2(a <= c)
+	case KSlt:
+		return bool2(SignExtendValue(a, e.Args[0].Width) < SignExtendValue(c, e.Args[1].Width))
+	case KSle:
+		return bool2(SignExtendValue(a, e.Args[0].Width) <= SignExtendValue(c, e.Args[1].Width))
+	case KIte:
+		if e.Args[1].IsArray() {
+			return 0, fmt.Errorf("expr: Eval of array-sorted ite")
+		}
+		if a != 0 {
+			return c, nil
+		}
+		return d, nil
+	case KConcat:
+		return Truncate(a<<e.Args[1].Width|Truncate(c, e.Args[1].Width), w), nil
+	case KExtract:
+		return Truncate(a>>e.Lo, w), nil
+	case KZExt:
+		return Truncate(a, e.Args[0].Width), nil
+	case KSExt:
+		return Truncate(uint64(SignExtendValue(a, e.Args[0].Width)), w), nil
+	}
+	return 0, fmt.Errorf("expr: Eval of %s", e.Kind)
+}
+
+// MustEval evaluates e and panics on structural errors; intended for
+// tests and for verification of solver models.
+func (asn *Assignment) MustEval(e *Expr) uint64 {
+	v, err := asn.Eval(e)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Satisfies reports whether every constraint in cs evaluates to true.
+func (asn *Assignment) Satisfies(cs []*Expr) (bool, error) {
+	for _, c := range cs {
+		v, err := asn.Eval(c)
+		if err != nil {
+			return false, err
+		}
+		if v == 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Vars returns the distinct KVar and KArrayVar leaves in e.
+func VarsOf(e *Expr) []*Expr {
+	var vars []*Expr
+	Walk(e, func(x *Expr) {
+		if x.Kind == KVar || x.Kind == KArrayVar {
+			vars = append(vars, x)
+		}
+	})
+	return vars
+}

@@ -1,0 +1,146 @@
+package invariants_test
+
+import (
+	"strings"
+	"testing"
+
+	"execrecon/internal/invariants"
+	"execrecon/internal/minc"
+	"execrecon/internal/vm"
+)
+
+const invProg = `
+func helper(int a, int b) int {
+	return a + b;
+}
+func main() int {
+	int n = input32("n");
+	if (n <= 0 || n > 32) { return -1; }
+	int acc = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		acc = helper(acc, input32("v"));
+	}
+	output(acc);
+	return 0;
+}`
+
+func TestCollect(t *testing.T) {
+	mod, err := minc.Compile("t", invProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, res := invariants.Collect(mod, vm.NewWorkload().Add("n", 2).Add("v", 5, 6), 1)
+	if res.Failure != nil {
+		t.Fatalf("failure: %v", res.Failure)
+	}
+	var enters, exits int
+	for _, o := range obs {
+		if strings.HasSuffix(o.Point, ":enter") {
+			enters++
+		}
+		if strings.HasSuffix(o.Point, ":exit") {
+			exits++
+		}
+	}
+	if enters != 3 || exits != 3 { // main + 2x helper
+		t.Errorf("enters=%d exits=%d", enters, exits)
+	}
+}
+
+func TestInferAndCheck(t *testing.T) {
+	// Passing observations keep helper's second argument in [1,9];
+	// the failing run passes 100.
+	passing := [][]invariants.Obs{
+		{{Point: "f:enter", Vars: []int64{0, 3}}, {Point: "f:enter", Vars: []int64{3, 9}}},
+		{{Point: "f:enter", Vars: []int64{0, 1}}, {Point: "f:enter", Vars: []int64{1, 5}}},
+		{{Point: "f:enter", Vars: []int64{0, 2}}},
+		{{Point: "f:enter", Vars: []int64{0, 7}}},
+	}
+	set := invariants.Infer(passing)
+	if set.NumPoints() != 1 {
+		t.Fatalf("points: %d", set.NumPoints())
+	}
+	viol := set.Check([]invariants.Obs{{Point: "f:enter", Vars: []int64{0, 100}}})
+	if len(viol) == 0 {
+		t.Fatal("no violations for out-of-range value")
+	}
+	found := false
+	for _, v := range viol {
+		if strings.Contains(v.Desc, "outside observed range") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("range violation missing: %v", viol)
+	}
+	// In-range observation: no violations.
+	if got := set.Check([]invariants.Obs{{Point: "f:enter", Vars: []int64{1, 4}}}); len(got) != 0 {
+		t.Errorf("unexpected violations: %v", got)
+	}
+}
+
+func TestPairInvariants(t *testing.T) {
+	passing := [][]invariants.Obs{
+		{{Point: "g:enter", Vars: []int64{1, 5}}, {Point: "g:enter", Vars: []int64{2, 7}}},
+		{{Point: "g:enter", Vars: []int64{3, 30}}},
+	}
+	set := invariants.Infer(passing)
+	// var0 <= var1 held in all passing runs; 10 > 4 violates it.
+	viol := set.Check([]invariants.Obs{{Point: "g:enter", Vars: []int64{10, 4}}})
+	found := false
+	for _, v := range viol {
+		if strings.Contains(v.Desc, "var0 <= var1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pair violation missing: %v", viol)
+	}
+}
+
+func TestUnseenPoint(t *testing.T) {
+	set := invariants.Infer([][]invariants.Obs{{{Point: "a:enter", Vars: []int64{1}}}})
+	viol := set.Check([]invariants.Obs{{Point: "never:enter", Vars: []int64{0}}})
+	if len(viol) != 1 || !strings.Contains(viol[0].Desc, "never reached") {
+		t.Errorf("unseen point: %v", viol)
+	}
+}
+
+func TestNonZeroInvariant(t *testing.T) {
+	passing := [][]invariants.Obs{
+		{{Point: "h:exit", Vars: []int64{4}}, {Point: "h:exit", Vars: []int64{9}}},
+	}
+	set := invariants.Infer(passing)
+	viol := set.Check([]invariants.Obs{{Point: "h:exit", Vars: []int64{0}}})
+	found := false
+	for _, v := range viol {
+		if strings.Contains(v.Desc, "always nonzero") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("nonzero violation missing: %v", viol)
+	}
+}
+
+func TestViolationRanking(t *testing.T) {
+	// The higher-support invariant must rank first.
+	passing := [][]invariants.Obs{}
+	run := []invariants.Obs{}
+	for i := 0; i < 50; i++ {
+		run = append(run, invariants.Obs{Point: "hot:enter", Vars: []int64{1}})
+	}
+	run = append(run, invariants.Obs{Point: "cold:enter", Vars: []int64{2}})
+	passing = append(passing, run)
+	set := invariants.Infer(passing)
+	viol := set.Check([]invariants.Obs{
+		{Point: "cold:enter", Vars: []int64{99}},
+		{Point: "hot:enter", Vars: []int64{99}},
+	})
+	if len(viol) < 2 {
+		t.Fatalf("violations: %v", viol)
+	}
+	if viol[0].Point != "hot:enter" {
+		t.Errorf("ranking wrong: %v", viol)
+	}
+}

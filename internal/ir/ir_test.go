@@ -1,0 +1,197 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyFunc builds a minimal valid function: one block returning 0.
+func tinyFunc(name string) *Func {
+	f := &Func{Name: name, NumRegs: 4}
+	f.Blocks = []*Block{{Index: 0, Instrs: []Instr{
+		{Op: OpConst, W: W32, Dst: 0, A: Imm(0), ID: f.NewInstrID()},
+		{Op: OpRet, A: Reg(0), ID: f.NewInstrID()},
+	}}}
+	return f
+}
+
+func TestValidateOK(t *testing.T) {
+	m := &Module{Name: "t"}
+	m.AddFunc(tinyFunc("main"))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Module
+		want  string
+	}{
+		{"empty module", func() *Module { return &Module{} }, "no functions"},
+		{"no blocks", func() *Module {
+			m := &Module{}
+			m.AddFunc(&Func{Name: "main", NumRegs: 1})
+			return m
+		}, "no blocks"},
+		{"missing terminator", func() *Module {
+			m := &Module{}
+			f := &Func{Name: "main", NumRegs: 1}
+			f.Blocks = []*Block{{Index: 0, Instrs: []Instr{{Op: OpConst, W: W32, Dst: 0}}}}
+			m.AddFunc(f)
+			return m
+		}, "terminator"},
+		{"register out of range", func() *Module {
+			m := &Module{}
+			f := &Func{Name: "main", NumRegs: 1}
+			f.Blocks = []*Block{{Index: 0, Instrs: []Instr{
+				{Op: OpMov, W: W32, Dst: 0, A: Reg(9)},
+				{Op: OpRet, A: Imm(0)},
+			}}}
+			m.AddFunc(f)
+			return m
+		}, "out of range"},
+		{"bad branch target", func() *Module {
+			m := &Module{}
+			f := &Func{Name: "main", NumRegs: 1}
+			f.Blocks = []*Block{{Index: 0, Instrs: []Instr{{Op: OpBr, Blk: 7}}}}
+			m.AddFunc(f)
+			return m
+		}, "block b7"},
+		{"unknown callee", func() *Module {
+			m := &Module{}
+			f := &Func{Name: "main", NumRegs: 1}
+			f.Blocks = []*Block{{Index: 0, Instrs: []Instr{
+				{Op: OpCall, Dst: 0, Tag: "ghost"},
+				{Op: OpRet, A: Imm(0)},
+			}}}
+			m.AddFunc(f)
+			return m
+		}, "unknown callee"},
+		{"bad width", func() *Module {
+			m := &Module{}
+			f := &Func{Name: "main", NumRegs: 1}
+			f.Blocks = []*Block{{Index: 0, Instrs: []Instr{
+				{Op: OpConst, W: 7, Dst: 0},
+				{Op: OpRet, A: Imm(0)},
+			}}}
+			m.AddFunc(f)
+			return m
+		}, "invalid width"},
+		{"frame offset overflow", func() *Module {
+			m := &Module{}
+			f := &Func{Name: "main", NumRegs: 1, FrameSize: 8}
+			f.Blocks = []*Block{{Index: 0, Instrs: []Instr{
+				{Op: OpFrame, Dst: 0, A: Imm(64)},
+				{Op: OpRet, A: Imm(0)},
+			}}}
+			m.AddFunc(f)
+			return m
+		}, "frame offset"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.build().Validate()
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestFuncLookup(t *testing.T) {
+	m := &Module{}
+	m.AddFunc(tinyFunc("a"))
+	m.AddFunc(tinyFunc("b"))
+	if m.FuncByName("a") == nil || m.FuncByName("b") == nil {
+		t.Error("lookup failed")
+	}
+	if m.FuncByName("c") != nil {
+		t.Error("ghost function found")
+	}
+	if m.FuncIndex("b") != 1 {
+		t.Errorf("index: %d", m.FuncIndex("b"))
+	}
+	if m.FuncIndex("zzz") != -1 {
+		t.Error("missing function index")
+	}
+}
+
+func TestInstrIDsAndLookup(t *testing.T) {
+	f := tinyFunc("main")
+	id := f.Blocks[0].Instrs[1].ID
+	bi, ii := f.FindInstrByID(id)
+	if bi != 0 || ii != 1 {
+		t.Errorf("found at b%d[%d]", bi, ii)
+	}
+	if bi, ii := f.FindInstrByID(999); bi != -1 || ii != -1 {
+		t.Error("ghost instruction found")
+	}
+	// Fresh IDs never collide with existing ones.
+	seen := map[int32]bool{id: true, f.Blocks[0].Instrs[0].ID: true}
+	for i := 0; i < 100; i++ {
+		nid := f.NewInstrID()
+		if seen[nid] {
+			t.Fatalf("duplicate ID %d", nid)
+		}
+		seen[nid] = true
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := &Module{Name: "t"}
+	m.AddGlobal(&Global{Name: "g", Size: 4, Init: []byte{1, 2, 3, 4}})
+	f := tinyFunc("main")
+	f.Blocks[0].Instrs[0].Args = []Arg{Reg(1)}
+	m.AddFunc(f)
+	c := m.Clone()
+	c.Globals[0].Init[0] = 99
+	c.Funcs[0].Blocks[0].Instrs[0].Dst = 3
+	c.Funcs[0].Blocks[0].Instrs[0].Args[0] = Imm(7)
+	if m.Globals[0].Init[0] != 1 {
+		t.Error("global init shared")
+	}
+	if m.Funcs[0].Blocks[0].Instrs[0].Dst != 0 {
+		t.Error("instruction shared")
+	}
+	if m.Funcs[0].Blocks[0].Instrs[0].Args[0].K != ArgReg {
+		t.Error("args slice shared")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumpAndStrings(t *testing.T) {
+	m := &Module{Name: "t"}
+	m.AddGlobal(&Global{Name: "g", Size: 8})
+	m.AddFunc(tinyFunc("main"))
+	d := m.Dump()
+	for _, want := range []string{"module t", "global @0 g", "func main", "ret"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+	if Reg(3).String() != "r3" || Imm(9).String() != "#9" {
+		t.Error("arg strings")
+	}
+	if OpAdd.String() != "add" || !OpRet.IsTerminator() || OpAdd.IsTerminator() {
+		t.Error("op metadata")
+	}
+	if W32.Bytes() != 4 || W8.Bytes() != 1 {
+		t.Error("width bytes")
+	}
+}
+
+func TestNumInstrs(t *testing.T) {
+	m := &Module{}
+	m.AddFunc(tinyFunc("a"))
+	m.AddFunc(tinyFunc("b"))
+	if m.NumInstrs() != 4 {
+		t.Errorf("instrs: %d", m.NumInstrs())
+	}
+}

@@ -1,0 +1,131 @@
+package ir
+
+import "fmt"
+
+// Validate checks structural well-formedness of a module: block
+// termination, register and block index ranges, callee resolution,
+// and width sanity. It returns the first violation found.
+func (m *Module) Validate() error {
+	if len(m.Funcs) == 0 {
+		return fmt.Errorf("ir: module %q has no functions", m.Name)
+	}
+	for _, f := range m.Funcs {
+		if err := m.validateFunc(f); err != nil {
+			return fmt.Errorf("ir: func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// opWritesReg reports whether the op writes its Dst register.
+func opWritesReg(o Op) bool {
+	switch o {
+	case OpStore, OpBr, OpCondBr, OpRet, OpAbort, OpAssert, OpOutput,
+		OpPtWrite, OpFree, OpJoin, OpLock, OpUnlock, OpYield, OpInvalid:
+		return false
+	}
+	return true
+}
+
+func validWidth(w Width) bool {
+	switch w {
+	case W8, W16, W32, W64:
+		return true
+	}
+	return false
+}
+
+func (m *Module) validateFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	if f.NParams > f.NumRegs {
+		return fmt.Errorf("%d params exceed %d registers", f.NParams, f.NumRegs)
+	}
+	checkArg := func(a Arg) error {
+		if a.K == ArgReg && (a.Reg < 0 || a.Reg >= f.NumRegs) {
+			return fmt.Errorf("register r%d out of range [0,%d)", a.Reg, f.NumRegs)
+		}
+		return nil
+	}
+	checkBlk := func(i int) error {
+		if i < 0 || i >= len(f.Blocks) {
+			return fmt.Errorf("block b%d out of range", i)
+		}
+		return nil
+	}
+	for bi, b := range f.Blocks {
+		if b.Index != bi {
+			return fmt.Errorf("block %d has index %d", bi, b.Index)
+		}
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block b%d is empty", bi)
+		}
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			last := ii == len(b.Instrs)-1
+			if in.Op.IsTerminator() != last {
+				return fmt.Errorf("b%d[%d] %s: terminator placement", bi, ii, in)
+			}
+			if err := checkArg(in.A); err != nil {
+				return fmt.Errorf("b%d[%d] %s: %w", bi, ii, in, err)
+			}
+			if err := checkArg(in.B); err != nil {
+				return fmt.Errorf("b%d[%d] %s: %w", bi, ii, in, err)
+			}
+			for _, a := range in.Args {
+				if err := checkArg(a); err != nil {
+					return fmt.Errorf("b%d[%d] %s: %w", bi, ii, in, err)
+				}
+			}
+			if opWritesReg(in.Op) && (in.Dst < 0 || in.Dst >= f.NumRegs) {
+				return fmt.Errorf("b%d[%d] %s: dst out of range", bi, ii, in)
+			}
+			switch in.Op {
+			case OpBr:
+				if err := checkBlk(in.Blk); err != nil {
+					return err
+				}
+			case OpCondBr:
+				if err := checkBlk(in.Blk); err != nil {
+					return err
+				}
+				if err := checkBlk(in.Blk2); err != nil {
+					return err
+				}
+			case OpCall, OpSpawn:
+				callee := m.FuncByName(in.Tag)
+				if callee == nil {
+					return fmt.Errorf("b%d[%d]: unknown callee %q", bi, ii, in.Tag)
+				}
+				if len(in.Args) != callee.NParams {
+					return fmt.Errorf("b%d[%d]: %q wants %d args, got %d",
+						bi, ii, in.Tag, callee.NParams, len(in.Args))
+				}
+			case OpFuncAddr:
+				if m.FuncByName(in.Tag) == nil {
+					return fmt.Errorf("b%d[%d]: unknown function %q", bi, ii, in.Tag)
+				}
+			case OpGlobal:
+				if in.A.K != ArgImm || in.A.Imm >= uint64(len(m.Globals)) {
+					return fmt.Errorf("b%d[%d]: global %s out of range", bi, ii, in.A)
+				}
+			case OpFrame:
+				if in.A.K != ArgImm || int64(in.A.Imm) >= f.FrameSize {
+					return fmt.Errorf("b%d[%d]: frame offset %s beyond frame size %d",
+						bi, ii, in.A, f.FrameSize)
+				}
+			}
+			switch in.Op {
+			case OpConst, OpMov, OpAdd, OpSub, OpMul, OpUDiv, OpURem, OpSDiv,
+				OpSRem, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr, OpEq, OpNe,
+				OpUlt, OpUle, OpSlt, OpSle, OpZext, OpSext, OpTrunc, OpLoad,
+				OpStore, OpInput, OpOutput:
+				if !validWidth(in.W) {
+					return fmt.Errorf("b%d[%d] %s: invalid width %d", bi, ii, in, in.W)
+				}
+			}
+		}
+	}
+	return nil
+}

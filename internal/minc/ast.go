@@ -1,0 +1,246 @@
+package minc
+
+import (
+	"fmt"
+
+	"execrecon/internal/ir"
+)
+
+// TypeKind classifies minc types.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	TyVoid TypeKind = iota
+	TyInt           // sized integer, signed or unsigned
+	TyPtr
+	TyArray
+)
+
+// Type is a minc type. Integer types carry width and signedness;
+// pointers and arrays carry an element type.
+type Type struct {
+	Kind   TypeKind
+	Width  ir.Width // TyInt
+	Signed bool     // TyInt
+	Elem   *Type    // TyPtr, TyArray
+	Len    int64    // TyArray
+}
+
+// Primitive types.
+var (
+	TypeVoid   = &Type{Kind: TyVoid}
+	TypeChar   = &Type{Kind: TyInt, Width: ir.W8, Signed: true}
+	TypeShort  = &Type{Kind: TyInt, Width: ir.W16, Signed: true}
+	TypeInt    = &Type{Kind: TyInt, Width: ir.W32, Signed: true}
+	TypeLong   = &Type{Kind: TyInt, Width: ir.W64, Signed: true}
+	TypeUchar  = &Type{Kind: TyInt, Width: ir.W8, Signed: false}
+	TypeUshort = &Type{Kind: TyInt, Width: ir.W16, Signed: false}
+	TypeUint   = &Type{Kind: TyInt, Width: ir.W32, Signed: false}
+	TypeUlong  = &Type{Kind: TyInt, Width: ir.W64, Signed: false}
+)
+
+// PtrTo returns a pointer type to elem.
+func PtrTo(elem *Type) *Type { return &Type{Kind: TyPtr, Elem: elem} }
+
+// Size returns the byte size of the type.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case TyInt:
+		return int64(t.Width.Bytes())
+	case TyPtr:
+		return 8
+	case TyArray:
+		return t.Elem.Size() * t.Len
+	}
+	return 0
+}
+
+// IsInt reports whether the type is an integer.
+func (t *Type) IsInt() bool { return t.Kind == TyInt }
+
+// IsPtr reports whether the type is a pointer.
+func (t *Type) IsPtr() bool { return t.Kind == TyPtr }
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TyInt:
+		return t.Width == o.Width && t.Signed == o.Signed
+	case TyPtr:
+		return t.Elem.Equal(o.Elem)
+	case TyArray:
+		return t.Len == o.Len && t.Elem.Equal(o.Elem)
+	}
+	return true
+}
+
+// String renders the type.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TyVoid:
+		return "void"
+	case TyInt:
+		base := map[ir.Width]string{ir.W8: "char", ir.W16: "short", ir.W32: "int", ir.W64: "long"}[t.Width]
+		if !t.Signed {
+			base = "u" + base
+		}
+		return base
+	case TyPtr:
+		return t.Elem.String() + "*"
+	case TyArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	}
+	return "?"
+}
+
+// Expression nodes.
+
+type expression interface{ exprLine() int }
+
+type exprBase struct{ line int }
+
+func (e exprBase) exprLine() int { return e.line }
+
+type numberLit struct {
+	exprBase
+	val uint64
+	typ *Type // defaults to int; long when it does not fit
+}
+
+type stringLit struct {
+	exprBase
+	val string
+}
+
+type identExpr struct {
+	exprBase
+	name string
+}
+
+type unaryExpr struct {
+	exprBase
+	op string // - ! ~ * &
+	x  expression
+}
+
+type binaryExpr struct {
+	exprBase
+	op   string
+	x, y expression
+}
+
+type indexExpr struct {
+	exprBase
+	x   expression
+	idx expression
+}
+
+type callExpr struct {
+	exprBase
+	name string
+	args []expression
+}
+
+type spawnExpr struct {
+	exprBase
+	name string
+	args []expression
+}
+
+type castExpr struct {
+	exprBase
+	typ *Type
+	x   expression
+}
+
+type sizeofExpr struct {
+	exprBase
+	typ *Type
+}
+
+// Statement nodes.
+
+type statement interface{ stmtLine() int }
+
+type stmtBase struct{ line int }
+
+func (s stmtBase) stmtLine() int { return s.line }
+
+type declStmt struct {
+	stmtBase
+	name string
+	typ  *Type
+	init expression // nil for none
+}
+
+type assignStmt struct {
+	stmtBase
+	lhs expression // ident, index, or deref
+	rhs expression
+}
+
+type ifStmt struct {
+	stmtBase
+	cond      expression
+	then, els []statement
+}
+
+type whileStmt struct {
+	stmtBase
+	cond expression
+	body []statement
+}
+
+type forStmt struct {
+	stmtBase
+	init statement // nil allowed
+	cond expression
+	post statement // nil allowed
+	body []statement
+}
+
+type returnStmt struct {
+	stmtBase
+	val expression // nil for void
+}
+
+type breakStmt struct{ stmtBase }
+type continueStmt struct{ stmtBase }
+
+type exprStmt struct {
+	stmtBase
+	x expression
+}
+
+// Top-level declarations.
+
+type funcDecl struct {
+	line   int
+	name   string
+	params []param
+	ret    *Type
+	body   []statement
+}
+
+type param struct {
+	name string
+	typ  *Type
+}
+
+type globalDecl struct {
+	line     int
+	name     string
+	typ      *Type
+	initVals []uint64 // integer initializers (element-wise)
+	initStr  string   // string initializer for char arrays
+	hasInit  bool
+}
+
+type program struct {
+	globals []*globalDecl
+	funcs   []*funcDecl
+}

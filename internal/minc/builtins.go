@@ -1,0 +1,214 @@
+package minc
+
+import (
+	"execrecon/internal/ir"
+)
+
+// callExpr lowers user calls and the builtin intrinsics.
+func (c *compiler) callExpr(x *callExpr) (val, error) {
+	line := x.exprLine()
+	argN := func(want int) error {
+		if len(x.args) != want {
+			return errf(line, "%s expects %d argument(s), got %d", x.name, want, len(x.args))
+		}
+		return nil
+	}
+	strArg := func(i int) (string, error) {
+		s, ok := x.args[i].(*stringLit)
+		if !ok {
+			return "", errf(line, "%s: argument %d must be a string literal", x.name, i+1)
+		}
+		return s.val, nil
+	}
+
+	switch x.name {
+	case "input8", "input16", "input32", "input64":
+		if err := argN(1); err != nil {
+			return val{}, err
+		}
+		tag, err := strArg(0)
+		if err != nil {
+			return val{}, err
+		}
+		var w ir.Width
+		var t *Type
+		switch x.name {
+		case "input8":
+			w, t = ir.W8, TypeChar
+		case "input16":
+			w, t = ir.W16, TypeShort
+		case "input32":
+			w, t = ir.W32, TypeInt
+		default:
+			w, t = ir.W64, TypeLong
+		}
+		r := c.newReg()
+		c.emit(ir.Instr{Op: ir.OpInput, W: w, Dst: r, Tag: tag})
+		return val{arg: ir.Reg(r), typ: t}, nil
+
+	case "abort":
+		msg := "abort"
+		if len(x.args) == 1 {
+			m, err := strArg(0)
+			if err != nil {
+				return val{}, err
+			}
+			msg = m
+		} else if len(x.args) != 0 {
+			return val{}, errf(line, "abort takes at most one string")
+		}
+		c.emit(ir.Instr{Op: ir.OpAbort, Tag: msg})
+		return val{arg: ir.Imm(0), typ: TypeVoid}, nil
+
+	case "assert":
+		if len(x.args) != 1 && len(x.args) != 2 {
+			return val{}, errf(line, "assert(cond [, msg])")
+		}
+		cond, err := c.expr(x.args[0])
+		if err != nil {
+			return val{}, err
+		}
+		msg := "assertion failed"
+		if len(x.args) == 2 {
+			m, err := strArg(1)
+			if err != nil {
+				return val{}, err
+			}
+			msg = m
+		}
+		c.emit(ir.Instr{Op: ir.OpAssert, A: cond.arg, Tag: msg})
+		return val{arg: ir.Imm(0), typ: TypeVoid}, nil
+
+	case "malloc":
+		if err := argN(1); err != nil {
+			return val{}, err
+		}
+		n, err := c.expr(x.args[0])
+		if err != nil {
+			return val{}, err
+		}
+		n = c.convert(n, TypeLong, line)
+		r := c.newReg()
+		c.emit(ir.Instr{Op: ir.OpMalloc, Dst: r, A: n.arg})
+		return val{arg: ir.Reg(r), typ: PtrTo(TypeChar)}, nil
+
+	case "free":
+		if err := argN(1); err != nil {
+			return val{}, err
+		}
+		p, err := c.expr(x.args[0])
+		if err != nil {
+			return val{}, err
+		}
+		if !p.typ.IsPtr() {
+			return val{}, errf(line, "free of non-pointer")
+		}
+		c.emit(ir.Instr{Op: ir.OpFree, A: p.arg})
+		return val{arg: ir.Imm(0), typ: TypeVoid}, nil
+
+	case "output":
+		if err := argN(1); err != nil {
+			return val{}, err
+		}
+		v, err := c.expr(x.args[0])
+		if err != nil {
+			return val{}, err
+		}
+		v = c.convert(v, TypeUlong, line)
+		c.emit(ir.Instr{Op: ir.OpOutput, W: ir.W64, A: v.arg})
+		return val{arg: ir.Imm(0), typ: TypeVoid}, nil
+
+	case "join":
+		if err := argN(1); err != nil {
+			return val{}, err
+		}
+		t, err := c.expr(x.args[0])
+		if err != nil {
+			return val{}, err
+		}
+		t = c.convert(t, TypeLong, line)
+		c.emit(ir.Instr{Op: ir.OpJoin, A: t.arg})
+		return val{arg: ir.Imm(0), typ: TypeVoid}, nil
+
+	case "lock", "unlock":
+		if err := argN(1); err != nil {
+			return val{}, err
+		}
+		m, err := c.expr(x.args[0])
+		if err != nil {
+			return val{}, err
+		}
+		m = c.convert(m, TypeLong, line)
+		op := ir.OpLock
+		if x.name == "unlock" {
+			op = ir.OpUnlock
+		}
+		c.emit(ir.Instr{Op: op, A: m.arg})
+		return val{arg: ir.Imm(0), typ: TypeVoid}, nil
+
+	case "yield":
+		if err := argN(0); err != nil {
+			return val{}, err
+		}
+		c.emit(ir.Instr{Op: ir.OpYield})
+		return val{arg: ir.Imm(0), typ: TypeVoid}, nil
+
+	case "fnptr":
+		if err := argN(1); err != nil {
+			return val{}, err
+		}
+		name, err := strArg(0)
+		if err != nil {
+			return val{}, err
+		}
+		if _, ok := c.sigs[name]; !ok {
+			return val{}, errf(line, "fnptr of unknown function %q", name)
+		}
+		r := c.newReg()
+		c.emit(ir.Instr{Op: ir.OpFuncAddr, Dst: r, Tag: name})
+		return val{arg: ir.Reg(r), typ: TypeLong}, nil
+
+	case "icall0", "icall1", "icall2":
+		nArgs := int(x.name[5] - '0')
+		if err := argN(nArgs + 1); err != nil {
+			return val{}, err
+		}
+		fp, err := c.expr(x.args[0])
+		if err != nil {
+			return val{}, err
+		}
+		fp = c.convert(fp, TypeLong, line)
+		var args []ir.Arg
+		for _, a := range x.args[1:] {
+			v, err := c.expr(a)
+			if err != nil {
+				return val{}, err
+			}
+			v = c.convert(v, TypeLong, line)
+			args = append(args, v.arg)
+		}
+		r := c.newReg()
+		c.emit(ir.Instr{Op: ir.OpICall, Dst: r, A: fp.arg, Args: args})
+		return val{arg: ir.Reg(r), typ: TypeLong}, nil
+	}
+
+	// User-defined function call.
+	sig, ok := c.sigs[x.name]
+	if !ok {
+		return val{}, errf(line, "call of unknown function %q", x.name)
+	}
+	if len(x.args) != len(sig.params) {
+		return val{}, errf(line, "%s: want %d args, got %d", x.name, len(sig.params), len(x.args))
+	}
+	args, err := c.callArgs(x.args, sig.params, line)
+	if err != nil {
+		return val{}, err
+	}
+	r := c.newReg()
+	c.emit(ir.Instr{Op: ir.OpCall, Dst: r, Tag: x.name, Args: args})
+	ret := sig.ret
+	if ret.Kind == TyVoid {
+		return val{arg: ir.Reg(r), typ: TypeVoid}, nil
+	}
+	return val{arg: ir.Reg(r), typ: ret}, nil
+}

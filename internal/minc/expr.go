@@ -1,0 +1,437 @@
+package minc
+
+import (
+	"fmt"
+
+	"execrecon/internal/ir"
+)
+
+// convert coerces v to type to, emitting widening/narrowing as
+// needed.
+func (c *compiler) convert(v val, to *Type, line int) val {
+	from := v.typ
+	if from.Equal(to) {
+		return val{arg: v.arg, typ: to}
+	}
+	// Pointer casts and int<->pointer conversions are value-
+	// preserving (both are 64-bit).
+	if (from.IsPtr() || from.Kind == TyArray) && (to.IsPtr() || (to.IsInt() && to.Width == ir.W64)) {
+		return val{arg: v.arg, typ: to}
+	}
+	if from.IsInt() && to.IsPtr() {
+		if from.Width == ir.W64 {
+			return val{arg: v.arg, typ: to}
+		}
+		v = c.convert(v, TypeUlong, line)
+		return val{arg: v.arg, typ: to}
+	}
+	if !from.IsInt() || !to.IsInt() {
+		// Defensive: should be rejected earlier.
+		return val{arg: v.arg, typ: to}
+	}
+	if v.arg.K == ir.ArgImm {
+		// Compile-time conversion of constants.
+		x := v.arg.Imm
+		if from.Signed && from.Width < ir.W64 {
+			x = uint64(signExtendConst(x, from.Width))
+		}
+		return val{arg: ir.Imm(maskConst(x, to.Width)), typ: to}
+	}
+	if to.Width == from.Width {
+		return val{arg: v.arg, typ: to}
+	}
+	r := c.newReg()
+	if to.Width > from.Width {
+		op := ir.OpZext
+		if from.Signed {
+			op = ir.OpSext
+		}
+		c.emit(ir.Instr{Op: op, W: from.Width, Dst: r, A: v.arg})
+	} else {
+		c.emit(ir.Instr{Op: ir.OpTrunc, W: to.Width, Dst: r, A: v.arg})
+	}
+	return val{arg: ir.Reg(r), typ: to}
+}
+
+func maskConst(v uint64, w ir.Width) uint64 {
+	if w == ir.W64 {
+		return v
+	}
+	return v & (1<<uint(w) - 1)
+}
+
+func signExtendConst(v uint64, w ir.Width) int64 {
+	switch w {
+	case ir.W8:
+		return int64(int8(v))
+	case ir.W16:
+		return int64(int16(v))
+	case ir.W32:
+		return int64(int32(v))
+	}
+	return int64(v)
+}
+
+// usualArith applies the usual arithmetic conversions: promote both
+// operands to a common integer type of at least 32 bits; the result
+// is unsigned if either promoted operand is unsigned.
+func usualArith(a, b *Type) *Type {
+	w := ir.W32
+	if a.Width > w {
+		w = a.Width
+	}
+	if b.Width > w {
+		w = b.Width
+	}
+	signed := a.Signed && b.Signed
+	return &Type{Kind: TyInt, Width: w, Signed: signed}
+}
+
+// address computes the address of an lvalue, returning the address
+// operand and the element type.
+func (c *compiler) address(e expression) (ir.Arg, *Type, error) {
+	c.line = int32(e.exprLine())
+	switch x := e.(type) {
+	case *identExpr:
+		sym := c.lookup(x.name)
+		if sym == nil {
+			return ir.Arg{}, nil, errf(x.exprLine(), "undefined variable %q", x.name)
+		}
+		if sym.reg >= 0 {
+			return ir.Arg{}, nil, errf(x.exprLine(), "cannot take address of register variable %q", x.name)
+		}
+		r := c.newReg()
+		if sym.isGlobal {
+			c.emit(ir.Instr{Op: ir.OpGlobal, Dst: r, A: ir.Imm(uint64(sym.gidx))})
+		} else {
+			c.emit(ir.Instr{Op: ir.OpFrame, Dst: r, A: ir.Imm(uint64(sym.frameOff))})
+		}
+		return ir.Reg(r), sym.typ, nil
+	case *indexExpr:
+		base, err := c.expr(x.x)
+		if err != nil {
+			return ir.Arg{}, nil, err
+		}
+		var elem *Type
+		switch base.typ.Kind {
+		case TyPtr:
+			elem = base.typ.Elem
+		default:
+			return ir.Arg{}, nil, errf(x.exprLine(), "indexing non-pointer type %s", base.typ)
+		}
+		idx, err := c.expr(x.idx)
+		if err != nil {
+			return ir.Arg{}, nil, err
+		}
+		idx = c.convert(idx, TypeLong, x.exprLine())
+		// addr = base + idx*sizeof(elem)
+		scaled := idx.arg
+		if es := elem.Size(); es != 1 {
+			r := c.newReg()
+			c.emit(ir.Instr{Op: ir.OpMul, W: ir.W64, Dst: r, A: idx.arg, B: ir.Imm(uint64(es))})
+			scaled = ir.Reg(r)
+		}
+		r := c.newReg()
+		c.emit(ir.Instr{Op: ir.OpAdd, W: ir.W64, Dst: r, A: base.arg, B: scaled})
+		return ir.Reg(r), elem, nil
+	case *unaryExpr:
+		if x.op == "*" {
+			ptr, err := c.expr(x.x)
+			if err != nil {
+				return ir.Arg{}, nil, err
+			}
+			if !ptr.typ.IsPtr() {
+				return ir.Arg{}, nil, errf(x.exprLine(), "dereference of non-pointer %s", ptr.typ)
+			}
+			return ptr.arg, ptr.typ.Elem, nil
+		}
+	}
+	return ir.Arg{}, nil, errf(e.exprLine(), "expression is not addressable")
+}
+
+// expr lowers an expression to a typed value.
+func (c *compiler) expr(e expression) (val, error) {
+	c.line = int32(e.exprLine())
+	switch x := e.(type) {
+	case *numberLit:
+		return val{arg: ir.Imm(x.val), typ: x.typ}, nil
+	case *stringLit:
+		gi, ok := c.strLits[x.val]
+		if !ok {
+			data := append([]byte(x.val), 0)
+			gi = c.mod.AddGlobal(&ir.Global{
+				Name: fmt.Sprintf(".str%d", len(c.strLits)),
+				Size: int64(len(data)), Init: data,
+			})
+			c.strLits[x.val] = gi
+		}
+		r := c.newReg()
+		c.emit(ir.Instr{Op: ir.OpGlobal, Dst: r, A: ir.Imm(uint64(gi))})
+		return val{arg: ir.Reg(r), typ: PtrTo(TypeChar)}, nil
+	case *identExpr:
+		sym := c.lookup(x.name)
+		if sym == nil {
+			return val{}, errf(x.exprLine(), "undefined variable %q", x.name)
+		}
+		if sym.typ.Kind == TyArray {
+			// Array decay: the value of an array is its address.
+			addr, _, err := c.address(x)
+			if err != nil {
+				return val{}, err
+			}
+			return val{arg: addr, typ: PtrTo(sym.typ.Elem)}, nil
+		}
+		if sym.reg >= 0 {
+			return val{arg: ir.Reg(sym.reg), typ: sym.typ}, nil
+		}
+		addr, _, err := c.address(x)
+		if err != nil {
+			return val{}, err
+		}
+		r := c.newReg()
+		c.emit(ir.Instr{Op: ir.OpLoad, W: widthOf(sym.typ), Dst: r, A: addr})
+		return val{arg: ir.Reg(r), typ: sym.typ}, nil
+	case *unaryExpr:
+		return c.unaryExpr(x)
+	case *binaryExpr:
+		return c.binaryExpr(x)
+	case *indexExpr:
+		addr, elem, err := c.address(x)
+		if err != nil {
+			return val{}, err
+		}
+		if elem.Kind == TyArray {
+			return val{arg: addr, typ: PtrTo(elem.Elem)}, nil
+		}
+		r := c.newReg()
+		c.emit(ir.Instr{Op: ir.OpLoad, W: widthOf(elem), Dst: r, A: addr})
+		return val{arg: ir.Reg(r), typ: elem}, nil
+	case *callExpr:
+		return c.callExpr(x)
+	case *spawnExpr:
+		sig, ok := c.sigs[x.name]
+		if !ok {
+			return val{}, errf(x.exprLine(), "spawn of unknown function %q", x.name)
+		}
+		if len(x.args) != len(sig.params) {
+			return val{}, errf(x.exprLine(), "spawn %s: want %d args, got %d", x.name, len(sig.params), len(x.args))
+		}
+		args, err := c.callArgs(x.args, sig.params, x.exprLine())
+		if err != nil {
+			return val{}, err
+		}
+		r := c.newReg()
+		c.emit(ir.Instr{Op: ir.OpSpawn, Dst: r, Tag: x.name, Args: args})
+		return val{arg: ir.Reg(r), typ: TypeLong}, nil
+	case *castExpr:
+		v, err := c.expr(x.x)
+		if err != nil {
+			return val{}, err
+		}
+		return c.convert(v, x.typ, x.exprLine()), nil
+	case *sizeofExpr:
+		return val{arg: ir.Imm(uint64(x.typ.Size())), typ: TypeLong}, nil
+	}
+	return val{}, errf(e.exprLine(), "unsupported expression")
+}
+
+func (c *compiler) unaryExpr(x *unaryExpr) (val, error) {
+	switch x.op {
+	case "-":
+		v, err := c.expr(x.x)
+		if err != nil {
+			return val{}, err
+		}
+		if !v.typ.IsInt() {
+			return val{}, errf(x.exprLine(), "negation of non-integer")
+		}
+		t := usualArith(v.typ, v.typ)
+		v = c.convert(v, t, x.exprLine())
+		r := c.newReg()
+		c.emit(ir.Instr{Op: ir.OpSub, W: t.Width, Dst: r, A: ir.Imm(0), B: v.arg})
+		return val{arg: ir.Reg(r), typ: t}, nil
+	case "!":
+		v, err := c.expr(x.x)
+		if err != nil {
+			return val{}, err
+		}
+		r := c.newReg()
+		c.emit(ir.Instr{Op: ir.OpEq, W: widthOf(v.typ), Dst: r, A: v.arg, B: ir.Imm(0)})
+		return val{arg: ir.Reg(r), typ: TypeInt}, nil
+	case "~":
+		v, err := c.expr(x.x)
+		if err != nil {
+			return val{}, err
+		}
+		if !v.typ.IsInt() {
+			return val{}, errf(x.exprLine(), "complement of non-integer")
+		}
+		t := usualArith(v.typ, v.typ)
+		v = c.convert(v, t, x.exprLine())
+		r := c.newReg()
+		c.emit(ir.Instr{Op: ir.OpXor, W: t.Width, Dst: r, A: v.arg, B: ir.Imm(^uint64(0))})
+		return val{arg: ir.Reg(r), typ: t}, nil
+	case "*":
+		addr, elem, err := c.address(x)
+		if err != nil {
+			return val{}, err
+		}
+		r := c.newReg()
+		c.emit(ir.Instr{Op: ir.OpLoad, W: widthOf(elem), Dst: r, A: addr})
+		return val{arg: ir.Reg(r), typ: elem}, nil
+	case "&":
+		addr, typ, err := c.address(x.x)
+		if err != nil {
+			return val{}, err
+		}
+		if typ.Kind == TyArray {
+			return val{arg: addr, typ: PtrTo(typ.Elem)}, nil
+		}
+		return val{arg: addr, typ: PtrTo(typ)}, nil
+	}
+	return val{}, errf(x.exprLine(), "unsupported unary operator %q", x.op)
+}
+
+var cmpOps = map[string]bool{"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (c *compiler) binaryExpr(x *binaryExpr) (val, error) {
+	if x.op == "&&" || x.op == "||" {
+		return c.shortCircuit(x)
+	}
+	a, err := c.expr(x.x)
+	if err != nil {
+		return val{}, err
+	}
+	b, err := c.expr(x.y)
+	if err != nil {
+		return val{}, err
+	}
+	// Pointer arithmetic: ptr ± int scales by element size.
+	if (x.op == "+" || x.op == "-") && a.typ.IsPtr() && b.typ.IsInt() {
+		b = c.convert(b, TypeLong, x.exprLine())
+		scaled := b.arg
+		if es := a.typ.Elem.Size(); es != 1 {
+			r := c.newReg()
+			c.emit(ir.Instr{Op: ir.OpMul, W: ir.W64, Dst: r, A: b.arg, B: ir.Imm(uint64(es))})
+			scaled = ir.Reg(r)
+		}
+		op := ir.OpAdd
+		if x.op == "-" {
+			op = ir.OpSub
+		}
+		r := c.newReg()
+		c.emit(ir.Instr{Op: op, W: ir.W64, Dst: r, A: a.arg, B: scaled})
+		return val{arg: ir.Reg(r), typ: a.typ}, nil
+	}
+	// Pointer comparisons compare raw addresses.
+	if cmpOps[x.op] && (a.typ.IsPtr() || b.typ.IsPtr()) {
+		a = c.convert(a, TypeUlong, x.exprLine())
+		b = c.convert(b, TypeUlong, x.exprLine())
+	}
+	if !a.typ.IsInt() || !b.typ.IsInt() {
+		return val{}, errf(x.exprLine(), "operator %q requires integer operands (%s, %s)", x.op, a.typ, b.typ)
+	}
+	t := usualArith(a.typ, b.typ)
+	a = c.convert(a, t, x.exprLine())
+	b = c.convert(b, t, x.exprLine())
+	var op ir.Op
+	resTyp := t
+	switch x.op {
+	case "+":
+		op = ir.OpAdd
+	case "-":
+		op = ir.OpSub
+	case "*":
+		op = ir.OpMul
+	case "/":
+		op = ir.OpUDiv
+		if t.Signed {
+			op = ir.OpSDiv
+		}
+	case "%":
+		op = ir.OpURem
+		if t.Signed {
+			op = ir.OpSRem
+		}
+	case "&":
+		op = ir.OpAnd
+	case "|":
+		op = ir.OpOr
+	case "^":
+		op = ir.OpXor
+	case "<<":
+		op = ir.OpShl
+	case ">>":
+		op = ir.OpLShr
+		if t.Signed {
+			op = ir.OpAShr
+		}
+	case "==":
+		op, resTyp = ir.OpEq, TypeInt
+	case "!=":
+		op, resTyp = ir.OpNe, TypeInt
+	case "<":
+		op, resTyp = pick(t.Signed, ir.OpSlt, ir.OpUlt), TypeInt
+	case "<=":
+		op, resTyp = pick(t.Signed, ir.OpSle, ir.OpUle), TypeInt
+	case ">":
+		op, resTyp = pick(t.Signed, ir.OpSlt, ir.OpUlt), TypeInt
+		a, b = b, a
+	case ">=":
+		op, resTyp = pick(t.Signed, ir.OpSle, ir.OpUle), TypeInt
+		a, b = b, a
+	default:
+		return val{}, errf(x.exprLine(), "unsupported operator %q", x.op)
+	}
+	r := c.newReg()
+	c.emit(ir.Instr{Op: op, W: t.Width, Dst: r, A: a.arg, B: b.arg})
+	return val{arg: ir.Reg(r), typ: resTyp}, nil
+}
+
+func pick(cond bool, a, b ir.Op) ir.Op {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// shortCircuit lowers && and || with branching, like C.
+func (c *compiler) shortCircuit(x *binaryExpr) (val, error) {
+	r := c.newReg()
+	a, err := c.expr(x.x)
+	if err != nil {
+		return val{}, err
+	}
+	evalY := c.newBlock()
+	endB := c.newBlock()
+	// Seed the result with the outcome decided by the left side.
+	if x.op == "&&" {
+		c.emit(ir.Instr{Op: ir.OpMov, W: ir.W32, Dst: r, A: ir.Imm(0)})
+		c.emit(ir.Instr{Op: ir.OpCondBr, A: a.arg, Blk: evalY, Blk2: endB})
+	} else {
+		c.emit(ir.Instr{Op: ir.OpMov, W: ir.W32, Dst: r, A: ir.Imm(1)})
+		c.emit(ir.Instr{Op: ir.OpCondBr, A: a.arg, Blk: endB, Blk2: evalY})
+	}
+	c.setBlock(evalY)
+	b, err := c.expr(x.y)
+	if err != nil {
+		return val{}, err
+	}
+	c.emit(ir.Instr{Op: ir.OpNe, W: widthOf(b.typ), Dst: r, A: b.arg, B: ir.Imm(0)})
+	c.emit(ir.Instr{Op: ir.OpBr, Blk: endB})
+	c.setBlock(endB)
+	return val{arg: ir.Reg(r), typ: TypeInt}, nil
+}
+
+func (c *compiler) callArgs(args []expression, params []*Type, line int) ([]ir.Arg, error) {
+	out := make([]ir.Arg, len(args))
+	for i, a := range args {
+		v, err := c.expr(a)
+		if err != nil {
+			return nil, err
+		}
+		v = c.convert(v, params[i], line)
+		out[i] = v.arg
+	}
+	return out, nil
+}

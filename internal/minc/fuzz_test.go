@@ -1,0 +1,99 @@
+package minc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the front end mangled fragments of real
+// programs plus random token soup; every input must produce either a
+// module or an error — never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	base := `
+int V[16];
+func helper(int a, int b) int { return a * b + V[a & 15]; }
+func main() int {
+	int x = input32("x");
+	if (x > 0 && x < 100) {
+		for (int i = 0; i < x; i = i + 1) { V[i & 15] = helper(i, x); }
+	}
+	assert(x != 7, "seven");
+	return x;
+}`
+	rng := rand.New(rand.NewSource(2024))
+	frag := []string{
+		"func", "int", "(", ")", "{", "}", "[", "]", ";", ",", "=", "+",
+		"*", "&&", "||", "return", "if", "while", "for", "x", "0x",
+		"\"str", "'c", "12345678901234567890123", "sizeof", "spawn",
+		"(int)", "&", "input32", "/*", "//", "uchar", "-",
+	}
+	check := func(src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on input %q: %v", src, r)
+			}
+		}()
+		_, _ = Compile("fuzz", src)
+	}
+	// Truncations of a valid program at every byte.
+	for i := 0; i <= len(base); i += 7 {
+		check(base[:i])
+	}
+	// Random single-edit mutations.
+	for trial := 0; trial < 300; trial++ {
+		b := []byte(base)
+		pos := rng.Intn(len(b))
+		switch rng.Intn(3) {
+		case 0:
+			b[pos] = byte(rng.Intn(256))
+		case 1:
+			b = append(b[:pos], b[pos+1:]...)
+		default:
+			ins := frag[rng.Intn(len(frag))]
+			b = append(b[:pos], append([]byte(ins), b[pos:]...)...)
+		}
+		check(string(b))
+	}
+	// Pure token soup.
+	for trial := 0; trial < 200; trial++ {
+		var sb strings.Builder
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			sb.WriteString(frag[rng.Intn(len(frag))])
+			sb.WriteByte(' ')
+		}
+		check(sb.String())
+	}
+}
+
+// TestCompiledFuzzProgramsRunSafely compiles random-but-valid
+// arithmetic programs and checks the VM executes them without
+// internal panics (failures are fine; they are the product).
+func TestCompiledFuzzProgramsRunSafely(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"}
+	for trial := 0; trial < 60; trial++ {
+		var body strings.Builder
+		body.WriteString("func main() int {\n\tint a = input32(\"v\");\n\tint b = input32(\"v\");\n\tint r = 1;\n")
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			op := ops[rng.Intn(len(ops))]
+			switch rng.Intn(3) {
+			case 0:
+				body.WriteString("\tr = r " + op + " a;\n")
+			case 1:
+				body.WriteString("\tr = a " + op + " b;\n")
+			default:
+				body.WriteString("\tr = r " + op + " b;\n")
+			}
+		}
+		body.WriteString("\toutput(r);\n\treturn 0;\n}")
+		mod, err := Compile("fuzzrun", body.String())
+		if err != nil {
+			t.Fatalf("valid-by-construction program rejected: %v\n%s", err, body.String())
+		}
+		if err := mod.Validate(); err != nil {
+			t.Fatalf("generated IR invalid: %v", err)
+		}
+	}
+}

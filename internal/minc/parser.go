@@ -1,0 +1,660 @@
+package minc
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token slice.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return errf(p.cur().line, "expected %q, found %q", s, p.cur().String())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return t, errf(t.line, "expected identifier, found %q", t.String())
+	}
+	p.advance()
+	return t, nil
+}
+
+var baseTypes = map[string]*Type{
+	"char": TypeChar, "short": TypeShort, "int": TypeInt, "long": TypeLong,
+	"uchar": TypeUchar, "ushort": TypeUshort, "uint": TypeUint, "ulong": TypeUlong,
+	"void": TypeVoid,
+}
+
+// atType reports whether the current token begins a type.
+func (p *parser) atType() bool {
+	t := p.cur()
+	return t.kind == tokKeyword && baseTypes[t.text] != nil
+}
+
+// parseType parses a base type with pointer suffixes.
+func (p *parser) parseType() (*Type, error) {
+	t := p.cur()
+	base := baseTypes[t.text]
+	if t.kind != tokKeyword || base == nil {
+		return nil, errf(t.line, "expected type, found %q", t.String())
+	}
+	p.advance()
+	typ := base
+	for p.acceptPunct("*") {
+		typ = PtrTo(typ)
+	}
+	return typ, nil
+}
+
+func (p *parser) program() (*program, error) {
+	prog := &program{}
+	for p.cur().kind != tokEOF {
+		if p.isKeyword("func") {
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, f)
+			continue
+		}
+		g, err := p.globalDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.globals = append(prog.globals, g)
+	}
+	return prog, nil
+}
+
+func (p *parser) globalDecl() (*globalDecl, error) {
+	line := p.cur().line
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	g := &globalDecl{line: line, name: name.text, typ: typ}
+	if p.acceptPunct("[") {
+		n := p.cur()
+		if n.kind != tokNumber {
+			return nil, errf(n.line, "expected array length")
+		}
+		p.advance()
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		g.typ = &Type{Kind: TyArray, Elem: typ, Len: int64(n.num)}
+	}
+	if p.acceptPunct("=") {
+		g.hasInit = true
+		switch {
+		case p.cur().kind == tokString:
+			g.initStr = p.advance().text
+		case p.acceptPunct("{"):
+			for !p.acceptPunct("}") {
+				n := p.cur()
+				neg := false
+				if p.isPunct("-") {
+					neg = true
+					p.advance()
+					n = p.cur()
+				}
+				if n.kind != tokNumber {
+					return nil, errf(n.line, "expected number in initializer")
+				}
+				p.advance()
+				v := n.num
+				if neg {
+					v = -v
+				}
+				g.initVals = append(g.initVals, v)
+				if !p.acceptPunct(",") && !p.isPunct("}") {
+					return nil, errf(p.cur().line, "expected , or } in initializer")
+				}
+			}
+		default:
+			n := p.cur()
+			neg := false
+			if p.isPunct("-") {
+				neg = true
+				p.advance()
+				n = p.cur()
+			}
+			if n.kind != tokNumber {
+				return nil, errf(n.line, "expected constant initializer")
+			}
+			p.advance()
+			v := n.num
+			if neg {
+				v = -v
+			}
+			g.initVals = append(g.initVals, v)
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *parser) funcDecl() (*funcDecl, error) {
+	line := p.cur().line
+	p.advance() // func
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	f := &funcDecl{line: line, name: name.text, ret: TypeVoid}
+	for !p.acceptPunct(")") {
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		f.params = append(f.params, param{name: pn.text, typ: typ})
+		if !p.acceptPunct(",") && !p.isPunct(")") {
+			return nil, errf(p.cur().line, "expected , or ) in parameters")
+		}
+	}
+	if p.atType() {
+		rt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		f.ret = rt
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) block() ([]statement, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []statement
+	for !p.acceptPunct("}") {
+		if p.cur().kind == tokEOF {
+			return nil, errf(p.cur().line, "unexpected end of file in block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) statement() (statement, error) {
+	line := p.cur().line
+	switch {
+	case p.atType():
+		return p.declStatement()
+	case p.isKeyword("if"):
+		return p.ifStatement()
+	case p.isKeyword("while"):
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{stmtBase{line}, cond, body}, nil
+	case p.isKeyword("for"):
+		return p.forStatement()
+	case p.isKeyword("return"):
+		p.advance()
+		var val expression
+		if !p.isPunct(";") {
+			var err error
+			val, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &returnStmt{stmtBase{line}, val}, nil
+	case p.isKeyword("break"):
+		p.advance()
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &breakStmt{stmtBase{line}}, nil
+	case p.isKeyword("continue"):
+		p.advance()
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &continueStmt{stmtBase{line}}, nil
+	}
+	s, err := p.simpleStatement()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// simpleStatement parses an assignment or expression statement
+// (without the trailing semicolon), used by for-headers too.
+func (p *parser) simpleStatement() (statement, error) {
+	line := p.cur().line
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptPunct("=") {
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		switch lhs.(type) {
+		case *identExpr, *indexExpr:
+		case *unaryExpr:
+			if lhs.(*unaryExpr).op != "*" {
+				return nil, errf(line, "invalid assignment target")
+			}
+		default:
+			return nil, errf(line, "invalid assignment target")
+		}
+		return &assignStmt{stmtBase{line}, lhs, rhs}, nil
+	}
+	return &exprStmt{stmtBase{line}, lhs}, nil
+}
+
+func (p *parser) declStatement() (statement, error) {
+	line := p.cur().line
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptPunct("[") {
+		n := p.cur()
+		if n.kind != tokNumber {
+			return nil, errf(n.line, "expected array length")
+		}
+		p.advance()
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		typ = &Type{Kind: TyArray, Elem: typ, Len: int64(n.num)}
+	}
+	var init expression
+	if p.acceptPunct("=") {
+		init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &declStmt{stmtBase{line}, name.text, typ, init}, nil
+}
+
+func (p *parser) ifStatement() (statement, error) {
+	line := p.cur().line
+	p.advance() // if
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var els []statement
+	if p.isKeyword("else") {
+		p.advance()
+		if p.isKeyword("if") {
+			s, err := p.ifStatement()
+			if err != nil {
+				return nil, err
+			}
+			els = []statement{s}
+		} else {
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &ifStmt{stmtBase{line}, cond, then, els}, nil
+}
+
+func (p *parser) forStatement() (statement, error) {
+	line := p.cur().line
+	p.advance() // for
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	f := &forStmt{stmtBase: stmtBase{line}}
+	if !p.isPunct(";") {
+		if p.atType() {
+			// Declaration in for-init shares declStatement's
+			// semicolon handling.
+			d, err := p.declForInit()
+			if err != nil {
+				return nil, err
+			}
+			f.init = d
+		} else {
+			s, err := p.simpleStatement()
+			if err != nil {
+				return nil, err
+			}
+			f.init = s
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.advance()
+	}
+	if !p.isPunct(";") {
+		c, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.cond = c
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		s, err := p.simpleStatement()
+		if err != nil {
+			return nil, err
+		}
+		f.post = s
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) declForInit() (statement, error) {
+	line := p.cur().line
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var init expression
+	if p.acceptPunct("=") {
+		init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &declStmt{stmtBase{line}, name.text, typ, init}, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (expression, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (expression, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{exprBase{t.line}, t.text, lhs, rhs}
+	}
+}
+
+func (p *parser) unary() (expression, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "-", "!", "~", "*", "&":
+			p.advance()
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &unaryExpr{exprBase{t.line}, t.text, x}, nil
+		case "(":
+			// Possible cast: "(" type ")" unary.
+			if p.peek().kind == tokKeyword && baseTypes[p.peek().text] != nil {
+				p.advance() // (
+				typ, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				x, err := p.unary()
+				if err != nil {
+					return nil, err
+				}
+				return &castExpr{exprBase{t.line}, typ, x}, nil
+			}
+		}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (expression, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if p.isPunct("[") {
+			p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &indexExpr{exprBase{t.line}, x, idx}
+			continue
+		}
+		return x, nil
+	}
+}
+
+func (p *parser) primary() (expression, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		typ := TypeInt
+		if t.num > 0x7fffffff {
+			typ = TypeLong
+		}
+		return &numberLit{exprBase{t.line}, t.num, typ}, nil
+	case t.kind == tokString:
+		p.advance()
+		return &stringLit{exprBase{t.line}, t.text}, nil
+	case t.kind == tokKeyword && t.text == "sizeof":
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &sizeofExpr{exprBase{t.line}, typ}, nil
+	case t.kind == tokKeyword && t.text == "spawn":
+		p.advance()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.callArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &spawnExpr{exprBase{t.line}, name.text, args}, nil
+	case t.kind == tokIdent:
+		p.advance()
+		if p.isPunct("(") {
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &callExpr{exprBase{t.line}, t.text, args}, nil
+		}
+		return &identExpr{exprBase{t.line}, t.text}, nil
+	case p.isPunct("("):
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, errf(t.line, "unexpected token %q", t.String())
+}
+
+func (p *parser) callArgs() ([]expression, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []expression
+	for !p.acceptPunct(")") {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.acceptPunct(",") && !p.isPunct(")") {
+			return nil, errf(p.cur().line, "expected , or ) in call")
+		}
+	}
+	return args, nil
+}
+
+var _ = fmt.Sprintf // keep fmt for future diagnostics

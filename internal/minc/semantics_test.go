@@ -1,0 +1,231 @@
+package minc_test
+
+import (
+	"testing"
+
+	"execrecon/internal/minc"
+	"execrecon/internal/vm"
+)
+
+// evalProg compiles and runs a program, returning its outputs.
+func evalProg(t *testing.T, src string, w *vm.Workload) []uint64 {
+	t.Helper()
+	mod, err := minc.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res := vm.New(mod, vm.Config{Input: w}).Run("main")
+	if res.Failure != nil {
+		t.Fatalf("failure: %v", res.Failure)
+	}
+	return res.Output
+}
+
+// expectOutputs runs main and compares the output stream.
+func expectOutputs(t *testing.T, src string, want ...uint64) {
+	t.Helper()
+	got := evalProg(t, src, vm.NewWorkload())
+	if len(got) != len(want) {
+		t.Fatalf("outputs %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("output[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	expectOutputs(t, `
+func main() int {
+	output(2 + 3 * 4);        // 14
+	output((2 + 3) * 4);      // 20
+	output(1 << 2 + 1);       // shift binds tighter than + in minc? No: << is level 8, + is 9 -> 1 << (2+1)?
+	output(10 - 4 - 3);       // left assoc: 3
+	output(2 * 3 % 4);        // left assoc: 2
+	output(1 | 2 ^ 3 & 2);    // & > ^ > |: 1 | (2 ^ (3 & 2)) = 1
+	return 0;
+}`, 14, 20, 8, 3, 2, 1)
+}
+
+func TestCPrecedenceShift(t *testing.T) {
+	// In C, + binds tighter than <<: 1 << 2 + 1 == 1 << 3 == 8.
+	expectOutputs(t, `func main() int { output(1 << 2 + 1); return 0; }`, 8)
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	// The right side of && must not evaluate when the left is false.
+	expectOutputs(t, `
+int calls = 0;
+func bump() int { calls = calls + 1; return 1; }
+func main() int {
+	int a = 0;
+	if (a == 1 && bump() == 1) { output(999); }
+	output(calls);            // 0: bump never ran
+	if (a == 0 || bump() == 1) { output(1); }
+	output(calls);            // still 0
+	if (a == 0 && bump() == 1) { output(2); }
+	output(calls);            // 1
+	return 0;
+}`, 0, 1, 0, 2, 1)
+}
+
+func TestUnsignedVsSignedComparison(t *testing.T) {
+	expectOutputs(t, `
+func main() int {
+	int s = -1;
+	uint u = (uint)s;
+	if (s < 0) { output(1); }         // signed: true
+	if (u > 1000) { output(2); }      // unsigned: 0xffffffff large
+	uint a = 1;
+	int b = -2;
+	// mixed: converted to unsigned (either operand unsigned)
+	if (a < (uint)b) { output(3); }
+	return 0;
+}`, 1, 2, 3)
+}
+
+func TestIntegerWrap(t *testing.T) {
+	expectOutputs(t, `
+func main() int {
+	int big = 2147483647;
+	output((uint)(big + 1));          // signed wrap to INT_MIN
+	uchar c = (uchar)255;
+	output((int)(uchar)(c + (uchar)1)); // 8-bit wrap to 0
+	short sh = (short)32767;
+	output((uint)(int)(short)(sh + (short)1)); // 16-bit wrap
+	return 0;
+}`, 0x80000000, 0, 0xffff8000)
+}
+
+func TestPointerArithmeticScaling(t *testing.T) {
+	expectOutputs(t, `
+int arr[4];
+func main() int {
+	arr[0] = 10; arr[1] = 20; arr[2] = 30; arr[3] = 40;
+	int *p = arr;
+	output(*(p + 2));    // scaled by 4: arr[2]
+	p = p + 1;
+	output(p[1]);        // arr[2]
+	output(*(p - 1));    // back to arr[0]
+	long diff = (long)(p + 1) - (long)p;
+	output(diff);        // 4 bytes
+	return 0;
+}`, 30, 30, 10, 4)
+}
+
+func TestCharAndStringHandling(t *testing.T) {
+	expectOutputs(t, `
+char msg[8] = "AB";
+func main() int {
+	output((int)msg[0]);
+	output((int)msg[1]);
+	output((int)msg[2]);  // NUL-ish (zero fill)
+	char *s = "xy";
+	output((int)s[1]);
+	return 0;
+}`, 'A', 'B', 0, 'y')
+}
+
+func TestDivisionTruncation(t *testing.T) {
+	expectOutputs(t, `
+func main() int {
+	int a = -7;
+	output((uint)(a / 2));   // -3 (truncation toward zero)
+	output((uint)(a % 2));   // -1
+	output(7 / 2);           // 3
+	output(7 % 2);           // 1
+	return 0;
+}`, 0xfffffffd, 0xffffffff, 3, 1)
+}
+
+func TestForLoopVariants(t *testing.T) {
+	expectOutputs(t, `
+func main() int {
+	int acc = 0;
+	for (int i = 0; i < 5; i = i + 1) { acc = acc + i; }
+	output(acc); // 10
+	int j = 0;
+	for (; j < 3; j = j + 1) { }
+	output(j);   // 3
+	int k = 0;
+	for (k = 10; k > 0; ) { k = k - 3; }
+	output((uint)k); // 10,7,4,1,-2
+	int brk = 0;
+	for (int i = 0; ; i = i + 1) {
+		if (i == 4) { brk = i; break; }
+	}
+	output(brk); // 4
+	int cont = 0;
+	for (int i = 0; i < 6; i = i + 1) {
+		if (i % 2 == 0) { continue; }
+		cont = cont + i;
+	}
+	output(cont); // 1+3+5 = 9
+	return 0;
+}`, 10, 3, 0xfffffffe, 4, 9)
+}
+
+func TestNestedFunctionCalls(t *testing.T) {
+	expectOutputs(t, `
+func add(int a, int b) int { return a + b; }
+func twice(int x) int { return add(x, x); }
+func main() int {
+	output(add(twice(3), twice(add(1, 1)))); // 6 + 4 = 10
+	return 0;
+}`, 10)
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	expectOutputs(t, `
+int scalar = 42;
+int negative = -7;
+int list[4] = {10, 20, 30};
+long wide = 1;
+func main() int {
+	output(scalar);
+	output((uint)negative);
+	output(list[0] + list[1] + list[2] + list[3]); // 60 (zero-filled tail)
+	output(wide);
+	return 0;
+}`, 42, 0xfffffff9, 60, 1)
+}
+
+func TestSextZextLoads(t *testing.T) {
+	expectOutputs(t, `
+char signedb[2];
+uchar unsignedb[2];
+func main() int {
+	signedb[0] = (char)0xF0;
+	unsignedb[0] = (uchar)0xF0;
+	int a = (int)signedb[0];    // sign-extended: -16
+	int b = (int)unsignedb[0];  // zero-extended: 240
+	output((uint)a);
+	output(b);
+	return 0;
+}`, 0xfffffff0, 240)
+}
+
+func TestRecursionAndFrames(t *testing.T) {
+	expectOutputs(t, `
+func fact(int n) int {
+	int local[2];
+	local[0] = n;
+	if (n <= 1) { return 1; }
+	int r = fact(n - 1);
+	return local[0] * r; // frame must survive the recursive call
+}
+func main() int { output(fact(6)); return 0; }`, 720)
+}
+
+func TestCastChains(t *testing.T) {
+	expectOutputs(t, `
+func main() int {
+	long big = 0x1234567890;
+	int truncated = (int)big;
+	output((uint)truncated);        // 0x34567890
+	char c = (char)truncated;       // 0x90 -> -112
+	output((uint)(int)c);           // sign-extended
+	return 0;
+}`, 0x34567890, 0xffffff90)
+}

@@ -1,0 +1,397 @@
+// Package pt implements the software analog of Intel Processor Trace
+// used by ER's online monitoring (§3.1, §4). The encoder packs
+// control-flow events into compact packets — TNT bit groups for
+// conditional branches and compressed returns, TIP packets for
+// indirect transfer targets, CHUNK packets carrying coarse timestamps
+// at scheduling boundaries (the MTC analog used for cross-thread
+// ordering, §3.4), and PTW packets for data values emitted by ptwrite
+// instrumentation. Packets stream into a fixed-capacity ring buffer
+// (64 MB in the paper); periodic PSB sync points let the decoder
+// resynchronize after the ring wraps, and a wrap that destroys the
+// trace prefix is reported as an overflow.
+package pt
+
+import (
+	"errors"
+	"fmt"
+
+	"execrecon/internal/ir"
+)
+
+// Packet headers.
+const (
+	hdrPSB   = 0x82 // sync point
+	hdrTNT   = 0x01 // short TNT: count byte + payload bits
+	hdrTIP   = 0x02 // target: uvarint
+	hdrPTW   = 0x04 // key uvarint, width byte, value uvarint
+	hdrChunk = 0x07 // tid uvarint, timestamp uvarint
+	hdrPGD   = 0x08 // packet generation disable: pause marker, count uvarint
+	hdrEnd   = 0x0f // end of trace
+)
+
+// psbInterval is the byte distance between sync points.
+const psbInterval = 4096
+
+// DefaultRingSize is the per-application trace buffer size used by
+// the paper (64 MB).
+const DefaultRingSize = 64 << 20
+
+// Ring is a byte ring buffer tracking total bytes ever written.
+type Ring struct {
+	buf     []byte
+	written uint64
+}
+
+// NewRing returns a ring of the given capacity.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &Ring{buf: make([]byte, capacity)}
+}
+
+// Write appends bytes, overwriting the oldest data on wrap.
+func (r *Ring) Write(p []byte) {
+	for _, b := range p {
+		r.buf[r.written%uint64(len(r.buf))] = b
+		r.written++
+	}
+}
+
+// Bytes returns the surviving window in write order and the number of
+// bytes lost to wrapping.
+func (r *Ring) Bytes() (data []byte, lost uint64) {
+	cap64 := uint64(len(r.buf))
+	if r.written <= cap64 {
+		return append([]byte(nil), r.buf[:r.written]...), 0
+	}
+	lost = r.written - cap64
+	start := r.written % cap64
+	out := make([]byte, 0, cap64)
+	out = append(out, r.buf[start:]...)
+	out = append(out, r.buf[:start]...)
+	return out, lost
+}
+
+// Written returns total bytes ever written (the monitoring-cost
+// figure used by the overhead model).
+func (r *Ring) Written() uint64 { return r.written }
+
+// Encoder serializes trace events into a Ring. It implements the
+// vm.Tracer shape (the vm package defines the interface; this type
+// satisfies it structurally).
+type Encoder struct {
+	ring *Ring
+
+	tntBits  []bool
+	sincePSB uint64
+
+	// Event counts for the efficiency experiments.
+	NumTNT, NumTIP, NumPTW, NumChunk uint64
+}
+
+// NewEncoder returns an encoder writing into ring.
+func NewEncoder(ring *Ring) *Encoder {
+	e := &Encoder{ring: ring}
+	e.emitPSB()
+	return e
+}
+
+func (e *Encoder) emit(p []byte) {
+	e.ring.Write(p)
+	e.sincePSB += uint64(len(p))
+}
+
+func (e *Encoder) emitPSB() {
+	e.flushTNT()
+	e.emit([]byte{hdrPSB})
+	e.sincePSB = 0
+}
+
+func (e *Encoder) maybePSB() {
+	if e.sincePSB >= psbInterval {
+		e.emitPSB()
+	}
+}
+
+func putUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// flushTNT emits pending TNT bits as one packet.
+func (e *Encoder) flushTNT() {
+	n := len(e.tntBits)
+	if n == 0 {
+		return
+	}
+	pkt := []byte{hdrTNT, byte(n)}
+	var cur byte
+	for i, b := range e.tntBits {
+		if b {
+			cur |= 1 << (uint(i) % 8)
+		}
+		if i%8 == 7 {
+			pkt = append(pkt, cur)
+			cur = 0
+		}
+	}
+	if n%8 != 0 {
+		pkt = append(pkt, cur)
+	}
+	e.tntBits = e.tntBits[:0]
+	e.emit(pkt)
+}
+
+// TNT buffers a taken/not-taken bit.
+func (e *Encoder) TNT(taken bool) {
+	e.NumTNT++
+	e.tntBits = append(e.tntBits, taken)
+	if len(e.tntBits) == 255 {
+		e.flushTNT()
+		e.maybePSB()
+	}
+}
+
+// TIP records an indirect transfer target.
+func (e *Encoder) TIP(target uint64) {
+	e.NumTIP++
+	e.flushTNT()
+	e.emit(putUvarint([]byte{hdrTIP}, target))
+	e.maybePSB()
+}
+
+// PTW records an instrumented data value. The width is recorded in
+// bits so the consumer can size the concretization constraint.
+func (e *Encoder) PTW(key int32, w ir.Width, val uint64) {
+	widthBits := uint8(w)
+	e.NumPTW++
+	e.flushTNT()
+	pkt := putUvarint([]byte{hdrPTW}, uint64(uint32(key)))
+	pkt = append(pkt, widthBits)
+	pkt = putUvarint(pkt, val)
+	e.emit(pkt)
+	e.maybePSB()
+}
+
+// PGD records that the running thread was descheduled after
+// executing count instructions since its last trace event — the
+// analog of Intel PT's packet-generation-disable marker, whose target
+// IP pins the exact pause point. The count lets the trace consumer
+// locate the preemption even in event-silent instruction stretches.
+func (e *Encoder) PGD(count uint64) {
+	e.flushTNT()
+	e.emit(putUvarint([]byte{hdrPGD}, count))
+	e.maybePSB()
+}
+
+// Chunk records a scheduling boundary: thread tid resumes at coarse
+// timestamp ts.
+func (e *Encoder) Chunk(tid int, ts uint64) {
+	e.NumChunk++
+	e.flushTNT()
+	pkt := putUvarint([]byte{hdrChunk}, uint64(tid))
+	pkt = putUvarint(pkt, ts)
+	e.emit(pkt)
+	e.maybePSB()
+}
+
+// Finish flushes buffered bits and emits the end marker.
+func (e *Encoder) Finish() {
+	e.flushTNT()
+	e.emit([]byte{hdrEnd})
+}
+
+// EventKind classifies decoded events.
+type EventKind uint8
+
+// Decoded event kinds.
+const (
+	EvTNT EventKind = iota
+	EvTIP
+	EvPTW
+	EvChunk
+	EvPGD
+	EvEnd
+)
+
+// Event is a decoded trace event.
+type Event struct {
+	Kind      EventKind
+	Taken     bool   // EvTNT
+	Target    uint64 // EvTIP
+	Key       int32  // EvPTW
+	WidthBits uint8  // EvPTW
+	Value     uint64 // EvPTW
+	Tid       int    // EvChunk
+	Timestamp uint64 // EvChunk
+	Count     uint64 // EvPGD: instructions since the thread's last event
+}
+
+// Trace is a fully decoded trace.
+type Trace struct {
+	Events []Event
+	// Truncated is true when the ring wrapped and the prefix of the
+	// execution was lost; Events then starts at the first surviving
+	// sync point.
+	Truncated bool
+	LostBytes uint64
+}
+
+// ErrNoSync is returned when a wrapped trace contains no sync point.
+var ErrNoSync = errors.New("pt: wrapped trace contains no PSB sync point")
+
+// Decode parses the ring contents back into events.
+func Decode(r *Ring) (*Trace, error) {
+	data, lost := r.Bytes()
+	t := &Trace{Truncated: lost > 0, LostBytes: lost}
+	i := 0
+	if lost > 0 {
+		// Resynchronize at the first PSB. A PSB byte inside a
+		// packet body could alias; the encoder bounds packet size
+		// far below psbInterval so scanning forward finds a true
+		// sync in practice.
+		sync := -1
+		for j := range data {
+			if data[j] == hdrPSB {
+				sync = j
+				break
+			}
+		}
+		if sync < 0 {
+			return nil, ErrNoSync
+		}
+		i = sync
+	}
+	getUvarint := func() (uint64, error) {
+		var v uint64
+		var shift uint
+		for {
+			if i >= len(data) {
+				return 0, fmt.Errorf("pt: truncated uvarint at %d", i)
+			}
+			b := data[i]
+			i++
+			v |= uint64(b&0x7f) << shift
+			if b < 0x80 {
+				return v, nil
+			}
+			shift += 7
+		}
+	}
+	for i < len(data) {
+		h := data[i]
+		i++
+		switch h {
+		case hdrPSB:
+			// sync point; no payload
+		case hdrTNT:
+			if i >= len(data) {
+				return nil, fmt.Errorf("pt: truncated TNT header")
+			}
+			n := int(data[i])
+			i++
+			nbytes := (n + 7) / 8
+			if i+nbytes > len(data) {
+				return nil, fmt.Errorf("pt: truncated TNT payload")
+			}
+			for k := 0; k < n; k++ {
+				bit := data[i+k/8]>>(uint(k)%8)&1 == 1
+				t.Events = append(t.Events, Event{Kind: EvTNT, Taken: bit})
+			}
+			i += nbytes
+		case hdrTIP:
+			v, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			t.Events = append(t.Events, Event{Kind: EvTIP, Target: v})
+		case hdrPTW:
+			k, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if i >= len(data) {
+				return nil, fmt.Errorf("pt: truncated PTW width")
+			}
+			wb := data[i]
+			i++
+			v, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			t.Events = append(t.Events, Event{Kind: EvPTW, Key: int32(uint32(k)), WidthBits: wb, Value: v})
+		case hdrPGD:
+			c, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			t.Events = append(t.Events, Event{Kind: EvPGD, Count: c})
+		case hdrChunk:
+			tid, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			ts, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			t.Events = append(t.Events, Event{Kind: EvChunk, Tid: int(tid), Timestamp: ts})
+		case hdrEnd:
+			t.Events = append(t.Events, Event{Kind: EvEnd})
+			return t, nil
+		default:
+			return nil, fmt.Errorf("pt: unknown packet header %#x at %d", h, i-1)
+		}
+	}
+	return t, nil
+}
+
+// Cursor iterates a decoded trace the way the shepherded executor
+// consumes it: sequential events with kind expectations.
+type Cursor struct {
+	tr  *Trace
+	pos int
+}
+
+// NewCursor returns a cursor at the start of tr.
+func NewCursor(tr *Trace) *Cursor { return &Cursor{tr: tr} }
+
+// Peek returns the next event without consuming it, or nil at end.
+func (c *Cursor) Peek() *Event {
+	for c.pos < len(c.tr.Events) {
+		ev := &c.tr.Events[c.pos]
+		if ev.Kind == EvEnd {
+			return nil
+		}
+		return ev
+	}
+	return nil
+}
+
+// Next consumes and returns the next event, or nil at end.
+func (c *Cursor) Next() *Event {
+	ev := c.Peek()
+	if ev != nil {
+		c.pos++
+	}
+	return ev
+}
+
+// Pos returns the cursor position (events consumed).
+func (c *Cursor) Pos() int { return c.pos }
+
+// Remaining returns the number of unconsumed events.
+func (c *Cursor) Remaining() int {
+	n := len(c.tr.Events) - c.pos
+	if n > 0 && c.tr.Events[len(c.tr.Events)-1].Kind == EvEnd {
+		n--
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,390 @@
+// Package rept implements the REPT-style reverse-recovery baseline
+// (§2, §5.2): given only the control-flow trace and the post-failure
+// core dump — no recorded data values — it reconstructs register
+// values along the trace by iterated backward and forward analysis,
+// inverting invertible operations and guessing memory reads from the
+// final dump. Like the real system, it is best-effort: values the
+// program overwrote are unrecoverable, and dump-based memory guesses
+// can be silently wrong when later stores clobbered the location —
+// which is precisely the accuracy limitation (15-60% incorrect beyond
+// ~100 K instructions) that motivates ER.
+package rept
+
+import (
+	"fmt"
+
+	"execrecon/internal/ir"
+	"execrecon/internal/pt"
+	"execrecon/internal/vm"
+)
+
+// dynInstr is one dynamic instruction of the linearized trace.
+type dynInstr struct {
+	in *ir.Instr
+}
+
+// Recovery is the outcome of one reverse-recovery run.
+type Recovery struct {
+	// TraceLen is the number of dynamic instructions analyzed.
+	TraceLen int
+	// Writes is the number of register-writing dynamic instructions
+	// (the values REPT tries to recover).
+	Writes int
+	// Correct, Incorrect, Unknown partition Writes.
+	Correct   int
+	Incorrect int
+	Unknown   int
+	// CorrectOldest/WritesOldest score only the oldest window of
+	// the trace (the first 1000 register writes), where recovery
+	// must reach furthest back from the dump.
+	CorrectOldest int
+	WritesOldest  int
+}
+
+// CorrectFrac returns the fraction of writes recovered correctly.
+func (r *Recovery) CorrectFrac() float64 {
+	if r.Writes == 0 {
+		return 1
+	}
+	return float64(r.Correct) / float64(r.Writes)
+}
+
+// IncorrectFrac returns the fraction recovered with a wrong value.
+func (r *Recovery) IncorrectFrac() float64 {
+	if r.Writes == 0 {
+		return 0
+	}
+	return float64(r.Incorrect) / float64(r.Writes)
+}
+
+// val is a possibly-unknown recovered value.
+type val struct {
+	known bool
+	v     uint64
+}
+
+// Recover runs the REPT analysis for function fn over the trace and
+// dump, and scores it against the ground-truth write log.
+//
+// truth[i] is the correct value written by the i-th register-writing
+// dynamic instruction (collected with vm.Config.OnRegWrite).
+func Recover(mod *ir.Module, fnName string, trace *pt.Trace, dump *vm.CoreDump, failID int32, truth []uint64) (*Recovery, error) {
+	fn := mod.FuncByName(fnName)
+	if fn == nil {
+		return nil, fmt.Errorf("rept: no function %q", fnName)
+	}
+	// Rebuild the dynamic instruction sequence by walking the CFG
+	// under the trace's TNT bits, as REPT replays the PT trace over
+	// the binary. Calls are unsupported: x86 REPT shares one
+	// register file, while our frames are per-call, so the baseline
+	// is scored on single-frame traces.
+	seq, err := linearizeToEnd(fn, trace, failID)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(seq)
+	// states[i] = register values before dynamic instruction i.
+	// states[n] = dump registers.
+	states := make([][]val, n+1)
+	for i := range states {
+		states[i] = make([]val, fn.NumRegs)
+	}
+	for r, v := range dump.Regs {
+		states[n][r] = val{known: true, v: v}
+	}
+
+	// Iterated backward/forward analysis.
+	for round := 0; round < 4; round++ {
+		changed := false
+		// Backward.
+		for i := n - 1; i >= 0; i-- {
+			changed = backward(seq[i].in, states[i], states[i+1]) || changed
+		}
+		// Forward.
+		for i := 0; i < n; i++ {
+			changed = forward(mod, seq[i].in, states[i], states[i+1], dump, seq[i+1:]) || changed
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Score register-writing instructions against ground truth.
+	rec := &Recovery{TraceLen: n}
+	ti := 0
+	for i := 0; i < n; i++ {
+		in := seq[i].in
+		if !writesReg(in.Op) {
+			continue
+		}
+		if ti >= len(truth) {
+			break
+		}
+		want := truth[ti]
+		ti++
+		rec.Writes++
+		old := rec.Writes <= 1000
+		if old {
+			rec.WritesOldest++
+		}
+		got := states[i+1][in.Dst]
+		switch {
+		case !got.known:
+			rec.Unknown++
+		case got.v == want:
+			rec.Correct++
+			if old {
+				rec.CorrectOldest++
+			}
+		default:
+			rec.Incorrect++
+		}
+	}
+	return rec, nil
+}
+
+// linearizeToEnd walks the CFG until the trace events are exhausted
+// and the next instruction would need one, returning the dynamic
+// sequence (the tail instruction is the failure site). Scheduling
+// packets (chunk boundaries, pause markers) carry no control-flow
+// content for the single-frame traces this baseline handles and are
+// filtered out first.
+func linearizeToEnd(fn *ir.Func, trace *pt.Trace, failID int32) ([]dynInstr, error) {
+	cf := &pt.Trace{}
+	for _, ev := range trace.Events {
+		switch ev.Kind {
+		case pt.EvTNT, pt.EvTIP, pt.EvPTW, pt.EvEnd:
+			cf.Events = append(cf.Events, ev)
+		}
+	}
+	var out []dynInstr
+	cur := pt.NewCursor(cf)
+	blk, ii := 0, 0
+	for steps := 0; steps < 100_000_000; steps++ {
+		in := &fn.Blocks[blk].Instrs[ii]
+		if cur.Remaining() == 0 && in.ID == failID {
+			// The failing instruction ends the dynamic sequence.
+			out = append(out, dynInstr{in: in})
+			return out, nil
+		}
+		switch in.Op {
+		case ir.OpCondBr:
+			if cur.Remaining() == 0 {
+				// The failing instruction is this one only if the
+				// failure was at a branch (it is not, for our
+				// workloads); otherwise the previous instruction
+				// ended the trace.
+				return out, nil
+			}
+			out = append(out, dynInstr{in: in})
+			ev := cur.Next()
+			if ev.Kind != pt.EvTNT {
+				return nil, fmt.Errorf("rept: expected TNT")
+			}
+			if ev.Taken {
+				blk = in.Blk
+			} else {
+				blk = in.Blk2
+			}
+			ii = 0
+		case ir.OpBr:
+			out = append(out, dynInstr{in: in})
+			blk, ii = in.Blk, 0
+		case ir.OpRet, ir.OpCall, ir.OpICall, ir.OpSpawn:
+			return nil, fmt.Errorf("rept: calls unsupported in baseline linearization")
+		case ir.OpAbort, ir.OpAssert:
+			out = append(out, dynInstr{in: in})
+			if in.Op == ir.OpAbort || cur.Remaining() == 0 {
+				return out, nil
+			}
+			ii++
+		default:
+			out = append(out, dynInstr{in: in})
+			if cur.Remaining() == 0 {
+				// Heuristic end: memory failures terminate without
+				// a trailing event; detect via instruction kind at
+				// the next branch instead. Keep walking until a
+				// branch is reached (handled above).
+			}
+			ii++
+		}
+	}
+	return nil, fmt.Errorf("rept: trace too long")
+}
+
+func writesReg(op ir.Op) bool {
+	switch op {
+	case ir.OpConst, ir.OpMov, ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpUDiv,
+		ir.OpURem, ir.OpSDiv, ir.OpSRem, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpLShr, ir.OpAShr, ir.OpEq, ir.OpNe, ir.OpUlt,
+		ir.OpUle, ir.OpSlt, ir.OpSle, ir.OpZext, ir.OpSext, ir.OpTrunc,
+		ir.OpLoad, ir.OpFrame, ir.OpGlobal, ir.OpMalloc, ir.OpFuncAddr,
+		ir.OpInput:
+		return true
+	}
+	return false
+}
+
+// backward propagates knowledge from the after-state to the
+// before-state of one instruction, inverting where possible.
+func backward(in *ir.Instr, before, after []val) bool {
+	changed := false
+	setB := func(r int, v uint64) {
+		if !before[r].known {
+			before[r] = val{known: true, v: v}
+			changed = true
+		}
+	}
+	// Registers not written by this instruction flow backward
+	// unchanged.
+	dst := -1
+	if writesReg(in.Op) {
+		dst = in.Dst
+	}
+	for r := range after {
+		if r != dst && after[r].known {
+			setB(r, after[r].v)
+		}
+	}
+	if dst < 0 {
+		return changed
+	}
+	// Inversion: dst = a op b with dst known after.
+	av := after[dst]
+	if !av.known {
+		return changed
+	}
+	argVal := func(a ir.Arg, st []val) (uint64, bool) {
+		if a.K == ir.ArgImm {
+			return a.Imm, true
+		}
+		if a.Reg == dst {
+			return 0, false // operand clobbered by this write
+		}
+		if st[a.Reg].known {
+			return st[a.Reg].v, true
+		}
+		return 0, false
+	}
+	mask := func(v uint64) uint64 {
+		if in.W == ir.W64 || in.W == 0 {
+			return v
+		}
+		return v & (1<<uint(in.W) - 1)
+	}
+	switch in.Op {
+	case ir.OpAdd:
+		// dst = a + b: recover the unknown operand.
+		if bv, ok := argVal(in.B, after); ok && in.A.K == ir.ArgReg && in.A.Reg != dst {
+			setB(in.A.Reg, mask(av.v-bv))
+		}
+		if avv, ok := argVal(in.A, after); ok && in.B.K == ir.ArgReg && in.B.Reg != dst {
+			setB(in.B.Reg, mask(av.v-avv))
+		}
+	case ir.OpSub:
+		if bv, ok := argVal(in.B, after); ok && in.A.K == ir.ArgReg && in.A.Reg != dst {
+			setB(in.A.Reg, mask(av.v+bv))
+		}
+		if avv, ok := argVal(in.A, after); ok && in.B.K == ir.ArgReg && in.B.Reg != dst {
+			setB(in.B.Reg, mask(avv-av.v))
+		}
+	case ir.OpXor:
+		if bv, ok := argVal(in.B, after); ok && in.A.K == ir.ArgReg && in.A.Reg != dst {
+			setB(in.A.Reg, mask(av.v^bv))
+		}
+		if avv, ok := argVal(in.A, after); ok && in.B.K == ir.ArgReg && in.B.Reg != dst {
+			setB(in.B.Reg, mask(avv^av.v))
+		}
+	case ir.OpMov, ir.OpZext:
+		if in.A.K == ir.ArgReg && in.A.Reg != dst {
+			// Only low bits are implied; full recovery when the
+			// width covers the register's live range — best effort.
+			setB(in.A.Reg, av.v)
+		}
+	}
+	return changed
+}
+
+// forward computes the after-state from the before-state, using the
+// dump for memory reads (REPT's error-prone guess: later unknown
+// stores may have clobbered the location).
+func forward(mod *ir.Module, in *ir.Instr, before, after []val, dump *vm.CoreDump, rest []dynInstr) bool {
+	changed := false
+	setA := func(r int, v uint64) {
+		if !after[r].known {
+			after[r] = val{known: true, v: v}
+			changed = true
+		}
+	}
+	dst := -1
+	if writesReg(in.Op) {
+		dst = in.Dst
+	}
+	for r := range before {
+		if r != dst && before[r].known {
+			setA(r, before[r].v)
+		}
+	}
+	if dst < 0 {
+		return changed
+	}
+	argVal := func(a ir.Arg) (uint64, bool) {
+		if a.K == ir.ArgImm {
+			return a.Imm, true
+		}
+		if before[a.Reg].known {
+			return before[a.Reg].v, true
+		}
+		return 0, false
+	}
+	switch in.Op {
+	case ir.OpConst:
+		setA(dst, in.A.Imm)
+	case ir.OpGlobal:
+		setA(dst, vm.PackAddr(vm.GlobalObject(int(in.A.Imm)), 0))
+	case ir.OpMov, ir.OpZext, ir.OpTrunc, ir.OpSext:
+		if v, ok := argVal(in.A); ok {
+			setA(dst, convWidth(in, v))
+		}
+	case ir.OpLoad:
+		if addr, ok := argVal(in.A); ok {
+			// Guess from the dump — wrong if a later store
+			// clobbered the address; this is REPT's documented
+			// inaccuracy source and is deliberately not checked.
+			obj, off := vm.SplitAddr(addr)
+			data, live := dump.Objects[obj]
+			nb := in.W.Bytes()
+			if live && int(off)+nb <= len(data) {
+				var v uint64
+				for i := 0; i < nb; i++ {
+					v |= uint64(data[int(off)+i]) << (8 * i)
+				}
+				setA(dst, v)
+			}
+		}
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpUDiv, ir.OpURem, ir.OpSDiv,
+		ir.OpSRem, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr,
+		ir.OpAShr, ir.OpEq, ir.OpNe, ir.OpUlt, ir.OpUle, ir.OpSlt, ir.OpSle:
+		a, okA := argVal(in.A)
+		b, okB := argVal(in.B)
+		if okA && okB {
+			if v, ok := vm.EvalBin(in.Op, in.W, a, b); ok {
+				setA(dst, v)
+			}
+		}
+	}
+	return changed
+}
+
+func convWidth(in *ir.Instr, v uint64) uint64 {
+	if in.W == ir.W64 {
+		return v
+	}
+	m := uint64(1)<<uint(in.W) - 1
+	v &= m
+	if in.Op == ir.OpSext && v&(1<<(uint(in.W)-1)) != 0 {
+		v |= ^m
+	}
+	return v
+}

@@ -1,0 +1,132 @@
+package rept_test
+
+import (
+	"testing"
+
+	"execrecon/internal/minc"
+	"execrecon/internal/pt"
+	"execrecon/internal/rept"
+	"execrecon/internal/vm"
+)
+
+// runKernel executes a single-frame program, returning everything the
+// REPT analysis needs plus the ground truth.
+func runKernel(t *testing.T, src string, w *vm.Workload) (*rept.Recovery, *vm.Result) {
+	t.Helper()
+	mod, err := minc.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := pt.NewRing(1 << 24)
+	enc := pt.NewEncoder(ring)
+	var truth []uint64
+	cfg := vm.Config{
+		Input:  w,
+		Tracer: enc,
+		OnRegWrite: func(fn string, id int32, dst int, val uint64) {
+			if fn == "main" {
+				truth = append(truth, val)
+			}
+		},
+	}
+	res := vm.New(mod, cfg).Run("main")
+	if res.Failure == nil {
+		t.Fatal("kernel did not fail")
+	}
+	enc.Finish()
+	tr, err := pt.Decode(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := rept.Recover(mod, "main", tr, res.Dump, res.Failure.InstrID, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, res
+}
+
+func TestRecoverSimpleArithmetic(t *testing.T) {
+	// Pure forward-computable arithmetic: everything recovers.
+	src := `
+func main() int {
+	int a = 5;
+	int b = a * 3;
+	int c = b + 7;
+	int z = c & 0;
+	return 100 / z;
+}`
+	rec, _ := runKernel(t, src, vm.NewWorkload())
+	if rec.Writes == 0 {
+		t.Fatal("no writes scored")
+	}
+	if rec.CorrectFrac() < 0.99 {
+		t.Errorf("forward-computable program: %.2f correct", rec.CorrectFrac())
+	}
+}
+
+func TestRecoverUnknownInputBackward(t *testing.T) {
+	// x comes from input (unknown); additions are invertible from
+	// the final state, so recent values recover.
+	src := `
+func main() int {
+	int x = input32("x");
+	x = x + 3;
+	x = x + 4;
+	int z = x & 0;
+	return 100 / z;
+}`
+	rec, _ := runKernel(t, src, vm.NewWorkload().Add("x", 10))
+	if rec.CorrectFrac() < 0.9 {
+		t.Errorf("invertible chain: %.2f correct (%d/%d)", rec.CorrectFrac(), rec.Correct, rec.Writes)
+	}
+}
+
+func TestRecoverDegradesWithClobbering(t *testing.T) {
+	src := `
+int tbl[8];
+func main() int {
+	int n = input32("n");
+	if (n < 1 || n > 100000) { return 0; }
+	int x = input32("x0");
+	int i = 0;
+	while (i < n) {
+		int d = tbl[i & 7];
+		x = x + d + 1;
+		tbl[(i + 3) & 7] = x;
+		i = i + 1;
+	}
+	int z = x & 0;
+	return 100 / z;
+}`
+	short, _ := runKernel(t, src, vm.NewWorkload().Add("n", 4).Add("x0", 100))
+	long, _ := runKernel(t, src, vm.NewWorkload().Add("n", 2000).Add("x0", 100))
+	if short.CorrectFrac() <= long.CorrectFrac() {
+		t.Errorf("no degradation: short %.3f vs long %.3f",
+			short.CorrectFrac(), long.CorrectFrac())
+	}
+	if long.Incorrect == 0 {
+		t.Error("long trace should contain silently wrong recoveries")
+	}
+}
+
+func TestRecoverRejectsCalls(t *testing.T) {
+	src := `
+func f(int x) int { return x + 1; }
+func main() int {
+	int z = f(1) & 0;
+	return 100 / z;
+}`
+	mod, err := minc.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := pt.NewRing(1 << 20)
+	enc := pt.NewEncoder(ring)
+	res := vm.New(mod, vm.Config{Tracer: enc}).Run("main")
+	enc.Finish()
+	tr, _ := pt.Decode(ring)
+	_, err = rept.Recover(mod, "main", tr, res.Dump, res.Failure.InstrID, nil)
+	if err == nil {
+		t.Error("expected error for program with calls")
+	}
+}

@@ -1,0 +1,140 @@
+package rr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"execrecon/internal/ir"
+	"execrecon/internal/vm"
+)
+
+// Log serialization: record/replay systems persist their logs so
+// failures captured in production can be replayed in-house. The
+// format is a small length-prefixed binary encoding:
+//
+//	magic "ERRR" | version u8 | seed varint |
+//	nInputs varint | per input: tagLen varint, tag, width u8, value varint |
+//	hasFailure u8 [ | kind u8, func string, instrID varint ]
+
+const logMagic = "ERRR"
+const logVersion = 1
+
+// Encode writes the log to w.
+func (l *Log) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(logMagic); err != nil {
+		return err
+	}
+	bw.WriteByte(logVersion)
+	var buf [binary.MaxVarintLen64]byte
+	putU := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		bw.Write(buf[:n])
+	}
+	putS := func(s string) {
+		putU(uint64(len(s)))
+		bw.WriteString(s)
+	}
+	putU(uint64(l.Seed))
+	putU(uint64(len(l.Inputs)))
+	for _, ev := range l.Inputs {
+		putS(ev.Tag)
+		bw.WriteByte(byte(ev.Width))
+		putU(ev.Value)
+	}
+	if l.Failure == nil {
+		bw.WriteByte(0)
+	} else {
+		bw.WriteByte(1)
+		bw.WriteByte(byte(l.Failure.Kind))
+		putS(l.Failure.Func)
+		putU(uint64(uint32(l.Failure.InstrID)))
+	}
+	return bw.Flush()
+}
+
+// DecodeLog reads a log previously written by Encode.
+func DecodeLog(r io.Reader) (*Log, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("rr: reading magic: %w", err)
+	}
+	if string(magic) != logMagic {
+		return nil, fmt.Errorf("rr: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != logVersion {
+		return nil, fmt.Errorf("rr: unsupported log version %d", ver)
+	}
+	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getS := func() (string, error) {
+		n, err := getU()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("rr: implausible string length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	l := &Log{}
+	seed, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	l.Seed = int64(seed)
+	n, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("rr: implausible input count %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		tag, err := getS()
+		if err != nil {
+			return nil, err
+		}
+		wb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		v, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		l.Inputs = append(l.Inputs, InputEvent{Tag: tag, Width: ir.Width(wb), Value: v})
+	}
+	hasFail, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if hasFail == 1 {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		fn, err := getS()
+		if err != nil {
+			return nil, err
+		}
+		id, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		// Only the minimal signature (kind + program counter) is
+		// persisted; rr replay regenerates the full state anyway.
+		l.Failure = &vm.Failure{Kind: vm.FailKind(kind), Func: fn, InstrID: int32(uint32(id))}
+	}
+	return l, nil
+}

@@ -1,0 +1,93 @@
+// Package rr implements the full record/replay baseline the paper
+// compares against (Mozilla rr, §5.3). The recorder intercepts every
+// non-deterministic event — all program input values and the
+// scheduler seed (our analog of rr's single-core serialized schedule)
+// — into a log from which the execution replays deterministically.
+// Recording is maximally effective and accurate (it reproduces any
+// failure bit-for-bit), but its interception costs are the source of
+// the prohibitive runtime overhead Fig. 6 shows.
+package rr
+
+import (
+	"execrecon/internal/ir"
+	"execrecon/internal/vm"
+)
+
+// InputEvent is one intercepted input value.
+type InputEvent struct {
+	Tag   string
+	Width ir.Width
+	Value uint64
+}
+
+// Log is a complete record of a run's non-determinism.
+type Log struct {
+	Inputs []InputEvent
+	Seed   int64
+	// Failure is the recorded outcome (nil for clean runs).
+	Failure *vm.Failure
+}
+
+// Bytes returns the log payload size, used by the overhead model.
+func (l *Log) Bytes() int64 {
+	var n int64
+	for _, ev := range l.Inputs {
+		n += int64(ev.Width.Bytes()) + int64(len(ev.Tag)) + 4
+	}
+	return n + 8
+}
+
+// recorder wraps an InputSource, logging every delivered value.
+type recorder struct {
+	inner vm.InputSource
+	log   *Log
+}
+
+func (r *recorder) Next(tag string, w ir.Width) (uint64, bool) {
+	v, ok := r.inner.Next(tag, w)
+	if ok {
+		r.log.Inputs = append(r.log.Inputs, InputEvent{Tag: tag, Width: w, Value: v})
+	}
+	return v, ok
+}
+
+// Record runs mod under full recording and returns the log and the
+// run result.
+func Record(mod *ir.Module, input vm.InputSource, seed int64) (*Log, *vm.Result) {
+	log := &Log{Seed: seed}
+	rec := &recorder{inner: input, log: log}
+	res := vm.New(mod, vm.Config{Input: rec, Seed: seed}).Run("main")
+	log.Failure = res.Failure
+	return log, res
+}
+
+// replaySource replays logged inputs in order, checking stream tags.
+type replaySource struct {
+	log *Log
+	pos int
+}
+
+func (r *replaySource) Next(tag string, w ir.Width) (uint64, bool) {
+	for i := r.pos; i < len(r.log.Inputs); i++ {
+		// Inputs replay strictly in order; a tag mismatch means the
+		// replayed execution diverged, which full record/replay
+		// precludes under an identical schedule. Scan forward
+		// defensively anyway.
+		if r.log.Inputs[i].Tag == tag {
+			if i != r.pos {
+				break
+			}
+			r.pos++
+			return r.log.Inputs[i].Value, true
+		}
+		break
+	}
+	return 0, false
+}
+
+// Replay re-executes mod from the log, returning the replayed result.
+// With the same seed the chunked scheduler reproduces the identical
+// interleaving, so the replay is bit-exact.
+func Replay(mod *ir.Module, log *Log) *vm.Result {
+	return vm.New(mod, vm.Config{Input: &replaySource{log: log}, Seed: log.Seed}).Run("main")
+}

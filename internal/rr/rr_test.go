@@ -1,0 +1,167 @@
+package rr_test
+
+import (
+	"bytes"
+	"testing"
+
+	"execrecon/internal/minc"
+	"execrecon/internal/rr"
+	"execrecon/internal/vm"
+)
+
+const rrProg = `
+int acc = 0;
+func main() int {
+	int n = input32("n");
+	if (n < 0 || n > 100) { return -1; }
+	for (int i = 0; i < n; i = i + 1) {
+		acc = acc + input32("data") * (i + 1);
+		output(acc);
+	}
+	assert(acc != 140, "acc hit 140");
+	return acc;
+}`
+
+func TestRecordReplayBitExact(t *testing.T) {
+	mod, err := minc.Compile("t", rrProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := vm.NewWorkload().Add("n", 3).Add("data", 5, 10, 20)
+	log, res := rr.Record(mod, w, 7)
+	if res.Failure != nil {
+		t.Fatalf("unexpected failure: %v", res.Failure)
+	}
+	if len(log.Inputs) != 4 {
+		t.Fatalf("recorded %d inputs, want 4", len(log.Inputs))
+	}
+	rep := rr.Replay(mod, log)
+	if rep.Failure != nil {
+		t.Fatalf("replay failed: %v", rep.Failure)
+	}
+	if len(rep.Output) != len(res.Output) {
+		t.Fatalf("output lengths differ: %d vs %d", len(rep.Output), len(res.Output))
+	}
+	for i := range res.Output {
+		if rep.Output[i] != res.Output[i] {
+			t.Errorf("output[%d]: %d vs %d", i, rep.Output[i], res.Output[i])
+		}
+	}
+}
+
+func TestRecordReplayFailure(t *testing.T) {
+	mod, err := minc.Compile("t", rrProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 + 20*2 + 30*3 = 140 -> assert fires.
+	w := vm.NewWorkload().Add("n", 3).Add("data", 10, 20, 30)
+	log, res := rr.Record(mod, w, 1)
+	if res.Failure == nil {
+		t.Fatal("expected failure")
+	}
+	if log.Failure == nil || !log.Failure.SameSignature(res.Failure) {
+		t.Error("failure not captured in log")
+	}
+	rep := rr.Replay(mod, log)
+	if rep.Failure == nil || !rep.Failure.SameSignature(res.Failure) {
+		t.Fatalf("replayed failure differs: %v", rep.Failure)
+	}
+}
+
+func TestRecordReplayMultithreaded(t *testing.T) {
+	src := `
+int shared = 0;
+func worker(int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		int v = shared;
+		yield();
+		shared = v + input32("w");
+	}
+}
+func main() int {
+	long t1 = spawn worker(5);
+	long t2 = spawn worker(5);
+	join(t1);
+	join(t2);
+	output(shared);
+	return 0;
+}`
+	mod, err := minc.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := vm.NewWorkload().Add("w", 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	log, res := rr.Record(mod, w, 13)
+	rep := rr.Replay(mod, log)
+	if res.Failure != nil || rep.Failure != nil {
+		t.Fatalf("failures: %v / %v", res.Failure, rep.Failure)
+	}
+	// Identical seed → identical schedule → identical (racy) result.
+	if rep.Output[0] != res.Output[0] {
+		t.Errorf("racy result not replayed: %d vs %d", rep.Output[0], res.Output[0])
+	}
+}
+
+func TestLogBytes(t *testing.T) {
+	mod, err := minc.Compile("t", rrProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := vm.NewWorkload().Add("n", 2).Add("data", 1, 2)
+	log, _ := rr.Record(mod, w, 1)
+	if log.Bytes() <= 0 {
+		t.Error("log bytes not accounted")
+	}
+}
+
+func TestLogEncodeDecodeRoundTrip(t *testing.T) {
+	mod, err := minc.Compile("t", rrProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := vm.NewWorkload().Add("n", 3).Add("data", 10, 20, 30)
+	log, res := rr.Record(mod, w, 99)
+	if res.Failure == nil {
+		t.Fatal("expected recorded failure")
+	}
+	var buf bytes.Buffer
+	if err := log.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := rr.DecodeLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != log.Seed || len(back.Inputs) != len(log.Inputs) {
+		t.Fatalf("header mismatch: %+v vs %+v", back, log)
+	}
+	for i := range log.Inputs {
+		if back.Inputs[i] != log.Inputs[i] {
+			t.Errorf("input %d: %+v vs %+v", i, back.Inputs[i], log.Inputs[i])
+		}
+	}
+	if back.Failure == nil || back.Failure.Func != log.Failure.Func ||
+		back.Failure.Kind != log.Failure.Kind || back.Failure.InstrID != log.Failure.InstrID {
+		t.Errorf("failure signature mismatch: %+v vs %+v", back.Failure, log.Failure)
+	}
+	// The decoded log replays to the identical failure.
+	rep := rr.Replay(mod, back)
+	if rep.Failure == nil || !rep.Failure.SameSignature(res.Failure) {
+		t.Fatalf("decoded log replays differently: %v", rep.Failure)
+	}
+}
+
+func TestDecodeLogRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("ERRR\xff"),         // bad version
+		[]byte("ERRR\x01\x05\x05"), // truncated
+	}
+	for i, c := range cases {
+		if _, err := rr.DecodeLog(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package solver
+
+import "time"
+
+// Budget meters solver work. Work units are abstract "steps": one SAT
+// decision is 1, one conflict 50, one Tseitin gate 1, one node created
+// during array elimination 1. A Budget with zero MaxSteps and zero
+// Deadline is unlimited.
+//
+// The paper configures a 30-second solver timeout (§4); callers of
+// this package express that timeout as a Deadline, with MaxSteps as a
+// determinism-friendly stand-in used throughout the test suite and
+// benchmark harness.
+type Budget struct {
+	MaxSteps int64
+	Deadline time.Time
+
+	used      int64
+	lastCheck int64
+	exhausted bool
+}
+
+// NewBudget returns a budget limited to maxSteps (0 = unlimited).
+func NewBudget(maxSteps int64) *Budget { return &Budget{MaxSteps: maxSteps} }
+
+// spend consumes n steps and reports whether the budget still holds.
+func (b *Budget) spend(n int64) bool {
+	if b == nil {
+		return true
+	}
+	b.used += n
+	if b.MaxSteps > 0 && b.used > b.MaxSteps {
+		b.exhausted = true
+		return false
+	}
+	// Check the wall clock at most every 4096 steps.
+	if !b.Deadline.IsZero() && b.used-b.lastCheck > 4096 {
+		b.lastCheck = b.used
+		if time.Now().After(b.Deadline) {
+			b.exhausted = true
+			return false
+		}
+	}
+	return true
+}
+
+// Used returns the steps consumed so far.
+func (b *Budget) Used() int64 { return b.used }
+
+// Exhausted reports whether the budget was exceeded.
+func (b *Budget) Exhausted() bool { return b.exhausted }

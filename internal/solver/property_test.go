@@ -1,0 +1,185 @@
+package solver
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"execrecon/internal/expr"
+)
+
+// TestCircuitAgreesWithEvaluator cross-validates every bit-blasting
+// circuit against the expression evaluator: for random concrete
+// operand values, the constraint "op(x, y) == evaluator-result" must
+// be satisfiable with x and y pinned, and the negation unsatisfiable.
+func TestCircuitAgreesWithEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	type mk func(b *expr.Builder, x, y *expr.Expr) *expr.Expr
+	ops := map[string]mk{
+		"add":  func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.Add(x, y) },
+		"sub":  func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.Sub(x, y) },
+		"mul":  func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.Mul(x, y) },
+		"udiv": func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.UDiv(x, y) },
+		"urem": func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.URem(x, y) },
+		"sdiv": func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.SDiv(x, y) },
+		"srem": func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.SRem(x, y) },
+		"and":  func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.And(x, y) },
+		"or":   func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.Or(x, y) },
+		"xor":  func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.Xor(x, y) },
+		"shl":  func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.Shl(x, y) },
+		"lshr": func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.LShr(x, y) },
+		"ashr": func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.AShr(x, y) },
+	}
+	cmps := map[string]mk{
+		"eq":  func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.Eq(x, y) },
+		"ult": func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.Ult(x, y) },
+		"ule": func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.Ule(x, y) },
+		"slt": func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.Slt(x, y) },
+		"sle": func(b *expr.Builder, x, y *expr.Expr) *expr.Expr { return b.Sle(x, y) },
+	}
+	widths := []uint{8, 16}
+	interesting := []uint64{0, 1, 2, 0x7f, 0x80, 0xff, 0x7fff, 0x8000, 0xffff}
+	pick := func(w uint) uint64 {
+		if rng.Intn(2) == 0 {
+			return expr.Truncate(interesting[rng.Intn(len(interesting))], w)
+		}
+		return expr.Truncate(rng.Uint64(), w)
+	}
+	for name, op := range ops {
+		for _, w := range widths {
+			for trial := 0; trial < 6; trial++ {
+				xv, yv := pick(w), pick(w)
+				if (name == "shl" || name == "lshr" || name == "ashr") && trial%2 == 0 {
+					yv = uint64(rng.Intn(int(w) + 4)) // exercise in/over-range shifts
+				}
+				b := expr.NewBuilder()
+				x, y := b.Var("x", w), b.Var("y", w)
+				e := op(b, x, y)
+				asn := expr.NewAssignment()
+				asn.Vars["x"], asn.Vars["y"] = xv, yv
+				want := asn.MustEval(e)
+				pin := []*expr.Expr{b.Eq(x, b.Const(xv, w)), b.Eq(y, b.Const(yv, w))}
+				s := New(b, DefaultOptions())
+				res, _, err := s.Solve(append(pin, b.Eq(e, b.Const(want, w))))
+				if err != nil || res != ResultSat {
+					t.Fatalf("%s w=%d x=%#x y=%#x: circuit disagrees (want %#x): %v %v",
+						name, w, xv, yv, want, res, err)
+				}
+				res, _, err = s.Solve(append(pin, b.Ne(e, b.Const(want, w))))
+				if err != nil || res != ResultUnsat {
+					t.Fatalf("%s w=%d x=%#x y=%#x: negation satisfiable (want only %#x): %v %v",
+						name, w, xv, yv, want, res, err)
+				}
+			}
+		}
+	}
+	for name, op := range cmps {
+		for trial := 0; trial < 8; trial++ {
+			w := widths[trial%2]
+			xv, yv := pick(w), pick(w)
+			b := expr.NewBuilder()
+			x, y := b.Var("x", w), b.Var("y", w)
+			e := op(b, x, y)
+			asn := expr.NewAssignment()
+			asn.Vars["x"], asn.Vars["y"] = xv, yv
+			want := asn.MustEval(e)
+			pin := []*expr.Expr{b.Eq(x, b.Const(xv, w)), b.Eq(y, b.Const(yv, w))}
+			goal := e
+			if want == 0 {
+				goal = b.BoolNot(e)
+			}
+			s := New(b, DefaultOptions())
+			res, _, err := s.Solve(append(pin, goal))
+			if err != nil || res != ResultSat {
+				t.Fatalf("%s w=%d x=%#x y=%#x: comparison circuit disagrees: %v %v",
+					name, w, xv, yv, res, err)
+			}
+		}
+	}
+}
+
+// TestRandomExpressionRoundTrip builds random expression trees with a
+// hidden witness; the solver must find some model, and that model
+// must satisfy the constraints under independent evaluation.
+func TestRandomExpressionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 25; trial++ {
+		b := expr.NewBuilder()
+		const w = 12
+		vars := []*expr.Expr{b.Var("a", w), b.Var("b", w), b.Var("c", w)}
+		witness := expr.NewAssignment()
+		for _, v := range vars {
+			witness.Vars[v.Name] = uint64(rng.Intn(1 << w))
+		}
+		var gen func(depth int) *expr.Expr
+		gen = func(depth int) *expr.Expr {
+			if depth == 0 || rng.Intn(3) == 0 {
+				if rng.Intn(2) == 0 {
+					return vars[rng.Intn(len(vars))]
+				}
+				return b.Const(uint64(rng.Intn(1<<w)), w)
+			}
+			x, y := gen(depth-1), gen(depth-1)
+			switch rng.Intn(9) {
+			case 0:
+				return b.Add(x, y)
+			case 1:
+				return b.Sub(x, y)
+			case 2:
+				return b.And(x, y)
+			case 3:
+				return b.Or(x, y)
+			case 4:
+				return b.Xor(x, y)
+			case 5:
+				return b.Mul(x, b.Const(uint64(rng.Intn(8)), w))
+			case 6:
+				return b.Ite(b.Ult(x, y), x, y)
+			case 7:
+				return b.URem(x, b.Const(uint64(rng.Intn(30)+1), w))
+			default:
+				return b.Not(x)
+			}
+		}
+		var cs []*expr.Expr
+		for k := 0; k < 3; k++ {
+			e := gen(3)
+			cs = append(cs, b.Eq(e, b.Const(witness.MustEval(e), w)))
+		}
+		s := New(b, DefaultOptions())
+		res, model, err := s.Solve(cs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res != ResultSat {
+			t.Fatalf("trial %d: %v on satisfiable-by-construction system", trial, res)
+		}
+		ok, err := model.Satisfies(cs)
+		if err != nil || !ok {
+			t.Fatalf("trial %d: model invalid (err %v)", trial, err)
+		}
+	}
+}
+
+// TestStoreChainCostGrowth verifies the stall mechanism: solver work
+// grows steeply with symbolic write chain length (§3.3.1 source 1).
+func TestStoreChainCostGrowth(t *testing.T) {
+	cost := func(n int) int64 {
+		b := expr.NewBuilder()
+		arr := b.ConstArray(b.Const(0, 8), 32)
+		for i := 0; i < n; i++ {
+			arr = b.Store(arr, b.Var(fmt.Sprintf("i%d", i), 32), b.Const(uint64(i), 8))
+		}
+		sel := b.Select(arr, b.Var("j", 32))
+		s := New(b, Options{})
+		res, _, err := s.Solve([]*expr.Expr{b.Eq(sel, b.Const(1, 8))})
+		if err != nil || res != ResultSat {
+			t.Fatalf("n=%d: %v %v", n, res, err)
+		}
+		return s.LastStats().Steps
+	}
+	small, large := cost(2), cost(24)
+	if large < small*4 {
+		t.Errorf("chain cost growth too flat: %d -> %d steps", small, large)
+	}
+}

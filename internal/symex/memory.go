@@ -1,0 +1,239 @@
+package symex
+
+import (
+	"fmt"
+
+	"execrecon/internal/expr"
+	"execrecon/internal/ir"
+	"execrecon/internal/solver"
+	"execrecon/internal/vm"
+)
+
+// resolveAddr splits a 64-bit address expression into a concrete
+// object and a 32-bit offset expression. Symbolic object parts are
+// concretized with a solver query — the per-access solver invocation
+// of §3.2 ("ER invokes a constraint solver every time the program
+// accesses symbolic memory").
+func (e *Engine) resolveAddr(addr *expr.Expr, what string) (uint32, *expr.Expr, error) {
+	objE := e.b.Extract(addr, 32, 32)
+	offE := e.b.Extract(addr, 0, 32)
+	objV, err := e.concretize(objE, what+" object")
+	if err != nil {
+		return 0, nil, err
+	}
+	return uint32(objV), offE, nil
+}
+
+// checkObject validates that the resolved object may be accessed off
+// the failure point.
+func (e *Engine) checkObject(obj uint32, what string) (*sobj, error) {
+	if obj == 0 || int(obj) >= len(e.objs) {
+		return nil, &divergeError{reason: what + ": null/wild object off the failure point"}
+	}
+	o := e.objs[obj]
+	if o.freed {
+		return nil, &divergeError{reason: what + ": freed object off the failure point"}
+	}
+	return o, nil
+}
+
+// boundsConstraint records that the access [off, off+nbytes) stayed
+// inside the object, as the traced run proves it did. Both the offset
+// and the object size may be symbolic.
+func (e *Engine) boundsConstraint(o *sobj, off *expr.Expr, nbytes int) error {
+	b := e.b
+	nb := uint64(nbytes)
+	size32 := b.Extract(o.size, 0, 32)
+	if size32.IsConst() && off.IsConst() {
+		if size32.Val < nb || off.Val > size32.Val-nb {
+			return &divergeError{reason: "concrete out-of-bounds access off the failure point"}
+		}
+		return nil
+	}
+	// size >= nbytes ∧ off <= size - nbytes.
+	e.pc = append(e.pc, b.Uge(size32, b.Const(nb, 32)))
+	e.pc = append(e.pc, b.Ule(off, b.Sub(size32, b.Const(nb, 32))))
+	return nil
+}
+
+// loadMem performs a symbolic load.
+func (e *Engine) loadMem(t *sthread, f *sframe, in *ir.Instr) (*expr.Expr, error) {
+	addr := e.reg(f, in.A)
+	nbytes := in.W.Bytes()
+	obj, off, err := e.resolveAddr(addr, "load")
+	if err != nil {
+		return nil, err
+	}
+	o, err := e.checkObject(obj, "load")
+	if err != nil {
+		return nil, err
+	}
+	if err := e.boundsConstraint(o, off, nbytes); err != nil {
+		return nil, err
+	}
+	return e.up(e.readBytes(o, off, nbytes)), nil
+}
+
+// readBytes assembles a little-endian value of nbytes from the
+// object's byte array.
+func (e *Engine) readBytes(o *sobj, off *expr.Expr, nbytes int) *expr.Expr {
+	b := e.b
+	v := b.Select(o.arr, b.Add(off, b.Const(uint64(nbytes-1), 32)))
+	for i := nbytes - 2; i >= 0; i-- {
+		v = b.Concat(v, b.Select(o.arr, b.Add(off, b.Const(uint64(i), 32))))
+	}
+	return v
+}
+
+// storeMem performs a symbolic store.
+func (e *Engine) storeMem(t *sthread, f *sframe, in *ir.Instr) error {
+	addr := e.reg(f, in.A)
+	nbytes := in.W.Bytes()
+	obj, off, err := e.resolveAddr(addr, "store")
+	if err != nil {
+		return err
+	}
+	o, err := e.checkObject(obj, "store")
+	if err != nil {
+		return err
+	}
+	if err := e.boundsConstraint(o, off, nbytes); err != nil {
+		return err
+	}
+	val := e.low(e.reg(f, in.B), in.W)
+	b := e.b
+	for i := 0; i < nbytes; i++ {
+		o.arr = b.Store(o.arr, b.Add(off, b.Const(uint64(i), 32)), b.Extract(val, uint(8*i), 8))
+	}
+	if !off.IsConst() {
+		o.writes++
+	}
+	return nil
+}
+
+// applyFailure encodes the recorded failure condition at the failing
+// instruction, completing the reconstruction (§3.2: the failure is
+// the end of the trace).
+func (e *Engine) applyFailure(t *sthread, f *sframe, in *ir.Instr) error {
+	b := e.b
+	switch e.failure.Kind {
+	case vm.FailAbort:
+		// Reaching the abort is the failure.
+		return nil
+	case vm.FailAssert:
+		cond := e.reg(f, in.A)
+		if cond.IsConst() {
+			if cond.Val != 0 {
+				return &divergeError{reason: "assertion cannot fail concretely at failure point"}
+			}
+			return nil
+		}
+		e.pc = append(e.pc, b.Eq(cond, b.Const(0, 64)))
+		return nil
+	case vm.FailDivByZero:
+		divisor := e.low(e.reg(f, in.B), in.W)
+		if divisor.IsConst() {
+			if divisor.Val != 0 {
+				return &divergeError{reason: "divisor cannot be zero concretely at failure point"}
+			}
+			return nil
+		}
+		e.pc = append(e.pc, b.Eq(divisor, b.Const(0, uint(in.W))))
+		return nil
+	case vm.FailNullDeref:
+		addr := e.reg(f, in.A)
+		objE := b.Extract(addr, 32, 32)
+		if objE.IsConst() {
+			if objE.Val != 0 && objE.Val < uint64(len(e.objs)) {
+				return &divergeError{reason: "address cannot be null concretely at failure point"}
+			}
+			return nil
+		}
+		null := b.Eq(objE, b.Const(0, 32))
+		wild := b.Uge(objE, b.Const(uint64(len(e.objs)), 32))
+		e.pc = append(e.pc, b.BoolOr(null, wild))
+		return nil
+	case vm.FailOutOfBounds:
+		if in.Op == ir.OpMalloc {
+			// Oversized allocation: the size exceeded the limit.
+			size := e.reg(f, in.A)
+			if !size.IsConst() {
+				e.pc = append(e.pc, b.Ugt(size, b.Const(1<<28, 64)))
+			}
+			return nil
+		}
+		// The access must land in a live object but past its end:
+		// encode the disjunction over all live objects and let the
+		// solver pick one, rather than concretizing to an arbitrary
+		// (possibly failure-changing) address.
+		addr := e.reg(f, in.A)
+		objE := b.Extract(addr, 32, 32)
+		offE := b.Extract(addr, 0, 32)
+		nbytes := uint64(in.W.Bytes())
+		disj := b.False()
+		for k := 1; k < len(e.objs); k++ {
+			o := e.objs[k]
+			if o.freed {
+				continue
+			}
+			isK := b.Eq(objE, b.Const(uint64(k), 32))
+			size32 := b.Extract(o.size, 0, 32)
+			tooSmall := b.Ult(size32, b.Const(nbytes, 32))
+			past := b.Ugt(offE, b.Sub(size32, b.Const(nbytes, 32)))
+			isK = b.BoolAnd(isK, b.BoolOr(tooSmall, past))
+			disj = b.BoolOr(disj, isK)
+		}
+		if disj.IsFalse() {
+			return &divergeError{reason: "no object admits an out-of-bounds access"}
+		}
+		e.pc = append(e.pc, disj)
+		return nil
+	case vm.FailUseAfterFree, vm.FailDoubleFree, vm.FailBadFree:
+		// The address must name a freed object.
+		addr := e.reg(f, in.A)
+		objE := b.Extract(addr, 32, 32)
+		disj := b.False()
+		for k := 1; k < len(e.objs); k++ {
+			if !e.objs[k].freed {
+				continue
+			}
+			disj = b.BoolOr(disj, b.Eq(objE, b.Const(uint64(k), 32)))
+		}
+		if disj.IsFalse() {
+			if e.failure.Kind == vm.FailBadFree {
+				return nil // e.g. free of a non-heap object
+			}
+			return &divergeError{reason: "no freed object at use-after-free failure point"}
+		}
+		e.pc = append(e.pc, disj)
+		return nil
+	case vm.FailStackOverflow, vm.FailInputExhausted:
+		// Reaching the site suffices.
+		return nil
+	}
+	return fmt.Errorf("symex: unsupported failure kind %v", e.failure.Kind)
+}
+
+// finish runs the final solver query over the complete path
+// constraint and converts the model into a concrete workload (§3.2:
+// "ER invokes a constraint solver to determine concrete program
+// inputs that would lead to the failure").
+func (e *Engine) finish() error {
+	r, m, err := e.solve()
+	if err != nil {
+		return err
+	}
+	switch r {
+	case solver.ResultUnsat:
+		return &divergeError{reason: "final path constraint unsatisfiable"}
+	case solver.ResultUnknown:
+		return &stallError{reason: "solver timeout on the final query"}
+	}
+	e.res.Model = m
+	tc := vm.NewWorkload()
+	for _, rec := range e.inputs {
+		tc.Add(rec.Tag, m.Vars[rec.Var])
+	}
+	e.res.TestCase = tc
+	return nil
+}

@@ -1,0 +1,435 @@
+package vm_test
+
+import (
+	"testing"
+
+	"execrecon/internal/minc"
+	"execrecon/internal/pt"
+	"execrecon/internal/vm"
+)
+
+func run(t *testing.T, src string, cfg vm.Config) *vm.Result {
+	t.Helper()
+	mod, err := minc.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return vm.New(mod, cfg).Run("main")
+}
+
+func mustClean(t *testing.T, res *vm.Result) {
+	t.Helper()
+	if res.Failure != nil {
+		t.Fatalf("unexpected failure: %v", res.Failure)
+	}
+}
+
+func TestArithmeticEndToEnd(t *testing.T) {
+	res := run(t, `
+func main() int {
+	int a = 7;
+	int b = 3;
+	output(a + b);   // 10
+	output(a - b);   // 4
+	output(a * b);   // 21
+	output(a / b);   // 2
+	output(a % b);   // 1
+	output(a << b);  // 56
+	output(a >> 1);  // 3
+	output(-a + 8);  // 1
+	output((a ^ b) & 5); // 4
+	int neg = -5;
+	output(neg / 2 + 100); // 98 (signed division truncates)
+	uint u = (uint)neg;
+	output(u / 2);   // 0x7ffffffd
+	return 0;
+}`, vm.Config{})
+	mustClean(t, res)
+	want := []uint64{10, 4, 21, 2, 1, 56, 3, 1, 4, 98, 0x7ffffffd}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output: %v, want %v", res.Output, want)
+	}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Errorf("output[%d] = %d, want %d", i, res.Output[i], want[i])
+		}
+	}
+}
+
+func TestFib(t *testing.T) {
+	res := run(t, `
+func fib(int n) int {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() int { output(fib(15)); return 0; }`, vm.Config{})
+	mustClean(t, res)
+	if res.Output[0] != 610 {
+		t.Errorf("fib(15) = %d, want 610", res.Output[0])
+	}
+}
+
+func TestSortProgram(t *testing.T) {
+	res := run(t, `
+int arr[8];
+func main() int {
+	arr[0] = 5; arr[1] = 3; arr[2] = 8; arr[3] = 1;
+	arr[4] = 9; arr[5] = 2; arr[6] = 7; arr[7] = 4;
+	for (int i = 0; i < 8; i = i + 1) {
+		for (int j = 0; j < 7 - i; j = j + 1) {
+			if (arr[j] > arr[j + 1]) {
+				int tmp = arr[j];
+				arr[j] = arr[j + 1];
+				arr[j + 1] = tmp;
+			}
+		}
+	}
+	for (int i = 0; i < 8; i = i + 1) { output(arr[i]); }
+	return 0;
+}`, vm.Config{})
+	mustClean(t, res)
+	want := []uint64{1, 2, 3, 4, 5, 7, 8, 9}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Fatalf("sorted[%d] = %d, want %d", i, res.Output[i], want[i])
+		}
+	}
+}
+
+func TestWidthSemantics(t *testing.T) {
+	res := run(t, `
+func main() int {
+	char c = (char)200;   // -56 as signed char
+	int w = (int)c;       // sign-extends
+	output((uint)w);      // 0xffffffc8
+	uchar uc = (uchar)200;
+	output((int)uc);      // 200
+	short s = (short)0xFFFF;
+	output((long)s + 1);  // 0
+	return 0;
+}`, vm.Config{})
+	mustClean(t, res)
+	if res.Output[0] != 0xffffffc8 {
+		t.Errorf("signed char: %#x", res.Output[0])
+	}
+	if res.Output[1] != 200 {
+		t.Errorf("unsigned char: %d", res.Output[1])
+	}
+	if res.Output[2] != 0 {
+		t.Errorf("short sext: %d", res.Output[2])
+	}
+}
+
+func TestInputsAndWorkload(t *testing.T) {
+	w := vm.NewWorkload().Add("req", 10, 20).Add("side", 5)
+	res := run(t, `
+func main() int {
+	int a = input32("req");
+	int b = input32("req");
+	int c = input32("side");
+	output(a + b + c);
+	return 0;
+}`, vm.Config{Input: w})
+	mustClean(t, res)
+	if res.Output[0] != 35 {
+		t.Errorf("sum = %d", res.Output[0])
+	}
+	if res.Stats.Inputs != 3 {
+		t.Errorf("input count = %d", res.Stats.Inputs)
+	}
+}
+
+func TestInputExhausted(t *testing.T) {
+	res := run(t, `func main() int { return input32("x"); }`, vm.Config{})
+	if res.Failure == nil || res.Failure.Kind != vm.FailInputExhausted {
+		t.Fatalf("failure: %v", res.Failure)
+	}
+}
+
+func TestFailureKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		kind vm.FailKind
+	}{
+		{"abort", `func main() int { abort("boom"); return 0; }`, vm.FailAbort},
+		{"assert", `func main() int { assert(1 == 2, "nope"); return 0; }`, vm.FailAssert},
+		{"null", `func main() int { int *p = (int*)0; return *p; }`, vm.FailNullDeref},
+		{"oob", `int a[4]; func main() int { return a[10]; }`, vm.FailOutOfBounds},
+		{"uaf", `func main() int { char *p = malloc(8); free(p); return (int)p[0]; }`, vm.FailUseAfterFree},
+		{"doublefree", `func main() int { char *p = malloc(8); free(p); free(p); return 0; }`, vm.FailDoubleFree},
+		{"divzero", `func main() int { int z = 0; return 5 / z; }`, vm.FailDivByZero},
+		{"badfree", `int g; func main() int { free(&g); return 0; }`, vm.FailBadFree},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := run(t, c.src, vm.Config{})
+			if res.Failure == nil {
+				t.Fatalf("expected %v failure, got clean exit", c.kind)
+			}
+			if res.Failure.Kind != c.kind {
+				t.Fatalf("failure kind %v, want %v (%v)", res.Failure.Kind, c.kind, res.Failure)
+			}
+			if res.Failure.Func != "main" {
+				t.Errorf("failure func %q", res.Failure.Func)
+			}
+		})
+	}
+}
+
+func TestFailureSignature(t *testing.T) {
+	src := `
+func inner(int x) int { assert(x < 10, "too big"); return x; }
+func outer(int x) int { return inner(x); }
+func main() int { return outer(input32("n")); }`
+	r1 := run(t, src, vm.Config{Input: vm.NewWorkload().Add("n", 50)})
+	r2 := run(t, src, vm.Config{Input: vm.NewWorkload().Add("n", 99)})
+	r3 := run(t, src, vm.Config{Input: vm.NewWorkload().Add("n", 5)})
+	if r1.Failure == nil || r2.Failure == nil {
+		t.Fatal("expected failures")
+	}
+	if r3.Failure != nil {
+		t.Fatalf("unexpected failure: %v", r3.Failure)
+	}
+	if !r1.Failure.SameSignature(r2.Failure) {
+		t.Error("same failure should have same signature")
+	}
+	if len(r1.Failure.Stack) != 3 {
+		t.Errorf("stack: %v", r1.Failure.Stack)
+	}
+}
+
+func TestThreadsSharedCounter(t *testing.T) {
+	res := run(t, `
+int shared = 0;
+func worker(int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		lock(1);
+		shared = shared + 1;
+		unlock(1);
+	}
+}
+func main() int {
+	long t1 = spawn worker(500);
+	long t2 = spawn worker(500);
+	join(t1);
+	join(t2);
+	output(shared);
+	return 0;
+}`, vm.Config{Seed: 7, ChunkSize: 37})
+	mustClean(t, res)
+	if res.Output[0] != 1000 {
+		t.Errorf("shared = %d, want 1000", res.Output[0])
+	}
+	if res.Stats.Threads < 3 {
+		t.Errorf("threads = %d", res.Stats.Threads)
+	}
+}
+
+func TestDataRaceWithoutLock(t *testing.T) {
+	// Unsynchronized increments under chunked scheduling can lose
+	// updates only if a chunk boundary splits the load/store pair;
+	// with tiny chunks across many iterations, final value varies by
+	// seed. This exercises schedule-dependent behavior.
+	src := `
+int shared = 0;
+func worker(int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		int v = shared;
+		yield();
+		shared = v + 1;
+	}
+}
+func main() int {
+	long t1 = spawn worker(50);
+	long t2 = spawn worker(50);
+	join(t1);
+	join(t2);
+	output(shared);
+	return 0;
+}`
+	res := run(t, src, vm.Config{Seed: 1, ChunkSize: 13})
+	mustClean(t, res)
+	if res.Output[0] == 100 {
+		t.Logf("no lost update with this seed (value 100)")
+	} else if res.Output[0] > 100 || res.Output[0] < 50 {
+		t.Errorf("implausible final value %d", res.Output[0])
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	res := run(t, `
+func worker(int n) { lock(2); lock(1); unlock(1); unlock(2); }
+func main() int {
+	lock(1);
+	long t1 = spawn worker(0);
+	// Force the worker to grab lock 2 before we try it.
+	for (int i = 0; i < 10000; i = i + 1) { yield(); }
+	lock(2);
+	unlock(2);
+	unlock(1);
+	join(t1);
+	return 0;
+}`, vm.Config{ChunkSize: 5})
+	if res.Failure == nil || res.Failure.Kind != vm.FailDeadlock {
+		t.Fatalf("expected deadlock, got %v", res.Failure)
+	}
+}
+
+func TestHangDetection(t *testing.T) {
+	res := run(t, `func main() int { while (1) { } return 0; }`, vm.Config{MaxSteps: 10000})
+	if res.Failure == nil || res.Failure.Kind != vm.FailDeadlock {
+		t.Fatalf("expected hang failure, got %v", res.Failure)
+	}
+}
+
+func TestIndirectCall(t *testing.T) {
+	res := run(t, `
+func double(long x) long { return x * 2; }
+func triple(long x) long { return x * 3; }
+func main() int {
+	long f = fnptr("double");
+	long g = fnptr("triple");
+	output(icall1(f, 21));
+	output(icall1(g, 5));
+	return 0;
+}`, vm.Config{})
+	mustClean(t, res)
+	if res.Output[0] != 42 || res.Output[1] != 15 {
+		t.Errorf("output: %v", res.Output)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	ring := pt.NewRing(1 << 20)
+	enc := pt.NewEncoder(ring)
+	mod, err := minc.Compile("t", `
+func main() int {
+	int acc = 0;
+	for (int i = 0; i < 100; i = i + 1) {
+		if (i % 3 == 0) { acc = acc + i; }
+	}
+	output(acc);
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := vm.New(mod, vm.Config{Tracer: enc}).Run("main")
+	mustClean(t, res)
+	enc.Finish()
+	tr, err := pt.Decode(ring)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if tr.Truncated {
+		t.Error("unexpected truncation")
+	}
+	// Count decoded TNT events: must equal branches + rets.
+	var tnt, chunk int
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case pt.EvTNT:
+			tnt++
+		case pt.EvChunk:
+			chunk++
+		}
+	}
+	wantTNT := int(res.Stats.Branches + res.Stats.Rets)
+	if tnt != wantTNT {
+		t.Errorf("decoded %d TNT events, want %d", tnt, wantTNT)
+	}
+	if chunk != int(res.Stats.Chunks) {
+		t.Errorf("decoded %d chunk events, want %d", chunk, res.Stats.Chunks)
+	}
+}
+
+func TestRingOverflow(t *testing.T) {
+	ring := pt.NewRing(8192)
+	enc := pt.NewEncoder(ring)
+	for i := 0; i < 200000; i++ {
+		enc.TNT(i%2 == 0)
+	}
+	enc.Finish()
+	tr, err := pt.Decode(ring)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !tr.Truncated {
+		t.Error("expected truncated trace")
+	}
+	if tr.LostBytes == 0 {
+		t.Error("expected lost bytes")
+	}
+	if len(tr.Events) == 0 {
+		t.Error("expected surviving events after resync")
+	}
+}
+
+func TestOnRegWriteHook(t *testing.T) {
+	mod, err := minc.Compile("t", `func main() int { int a = 3; int b = a * 7; return b; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writes int
+	cfg := vm.Config{OnRegWrite: func(fn string, id int32, dst int, val uint64) { writes++ }}
+	res := vm.New(mod, cfg).Run("main")
+	mustClean(t, res)
+	if writes == 0 {
+		t.Error("no register writes observed")
+	}
+}
+
+func TestStatsCycles(t *testing.T) {
+	res := run(t, `func main() int { int x = 0; for (int i = 0; i < 1000; i = i + 1) { x = x + i; } return x; }`, vm.Config{})
+	mustClean(t, res)
+	if res.Stats.Instrs == 0 || res.Stats.Cycles < res.Stats.Instrs {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+	if res.Stats.Branches < 1000 {
+		t.Errorf("branches: %d", res.Stats.Branches)
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	res := run(t, `
+func inf(int n) int { return inf(n + 1); }
+func main() int { return inf(0); }`, vm.Config{})
+	if res.Failure == nil || res.Failure.Kind != vm.FailStackOverflow {
+		t.Fatalf("expected stack overflow, got %v", res.Failure)
+	}
+}
+
+func TestFrameLocalsIsolatedPerCall(t *testing.T) {
+	res := run(t, `
+func f(int depth) int {
+	int buf[4];
+	buf[0] = depth;
+	if (depth > 0) { f(depth - 1); }
+	return buf[0];
+}
+func main() int { output(f(5)); return 0; }`, vm.Config{})
+	mustClean(t, res)
+	if res.Output[0] != 5 {
+		t.Errorf("frame corruption: got %d, want 5", res.Output[0])
+	}
+}
+
+func TestDanglingFrameDetected(t *testing.T) {
+	// Returning a pointer to a dead frame and dereferencing it is a
+	// use-after-free, as frame objects die with their call.
+	res := run(t, `
+func bad() long {
+	int x[1];
+	x[0] = 1;
+	return (long)(&x[0]);
+}
+func main() int {
+	long a = bad();
+	int *p = (int*)a;
+	return *p;
+}`, vm.Config{})
+	if res.Failure == nil || res.Failure.Kind != vm.FailUseAfterFree {
+		t.Fatalf("expected UAF, got %v", res.Failure)
+	}
+}
