@@ -73,11 +73,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(er.Describe(rep))
-		if rep.Reproduced {
-			fmt.Println("generated test case:")
-			for tag, vals := range rep.TestCase.Streams {
-				fmt.Printf("  %s = %v\n", tag, vals)
-			}
+		if !rep.Reproduced {
+			// Reproduction failing is the tool failing: make it
+			// visible to scripts via the exit code.
+			os.Exit(1)
+		}
+		fmt.Println("generated test case:")
+		for tag, vals := range rep.TestCase.Streams {
+			fmt.Printf("  %s = %v\n", tag, vals)
 		}
 	case "constraints":
 		tr, res, err := er.RecordTrace(mod, w, 1)

@@ -13,6 +13,8 @@
 //	mimic     §5.4 invariant-based failure localization
 //	ablation  recording-set minimization on/off (design-choice check)
 //	mt        §3.4 multithreaded reconstruction summary
+//	fleet     fleet-scale triage: the 13 apps as one mixed workload,
+//	          sequential vs parallel ER pipelines (internal/fleet)
 //	all       everything above
 package main
 
@@ -20,16 +22,58 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"execrecon/internal/apps"
 	"execrecon/internal/bench"
 )
 
+// experiments lists the valid -exp values in presentation order.
+var experiments = []string{
+	"fig1", "table1", "offline", "fig5", "fig6", "random",
+	"accuracy", "rept", "mimic", "ablation", "mt", "fleet",
+}
+
+func validExp(name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, e := range experiments {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig1, table1, offline, fig5, fig6, random, accuracy, rept, mimic, ablation, mt, all)")
+	exp := flag.String("exp", "all", "experiment to run ("+strings.Join(experiments, ", ")+", all)")
 	runs := flag.Int("runs", 10, "runs per overhead measurement (fig6)")
-	app := flag.String("app", "", "restrict table1 to one app / select fig5 app")
+	app := flag.String("app", "", "restrict table1/fleet to one app / select fig5 app")
+	workers := flag.Int("workers", 0, "parallel pipeline workers for the fleet experiment (0 = GOMAXPROCS)")
+	machines := flag.Int("machines", 0, "producer machines per app for the fleet experiment (0 = default 2)")
+	pace := flag.Duration("pace", 0, "production-run spacing per fleet machine (0 = default 100ms)")
 	verbose := flag.Bool("v", false, "log ER loop progress")
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "erbench: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if !validExp(*exp) {
+		fmt.Fprintf(os.Stderr, "erbench: unknown experiment %q (valid: %s, all)\n",
+			*exp, strings.Join(experiments, ", "))
+		os.Exit(2)
+	}
+	if *app != "" && apps.ByName(*app) == nil {
+		var names []string
+		for _, a := range apps.All() {
+			names = append(names, a.Name)
+		}
+		fmt.Fprintf(os.Stderr, "erbench: unknown app %q (valid: %s)\n", *app, strings.Join(names, ", "))
+		os.Exit(2)
+	}
 
 	out := os.Stdout
 	var log *os.File
@@ -151,6 +195,24 @@ func main() {
 			ok = false
 		} else {
 			bench.RenderMT(out, rows)
+		}
+		fmt.Fprintln(out)
+	}
+	if run("fleet") {
+		fmt.Fprintln(out, "== fleet-scale triage: sequential vs parallel ER pipelines ==")
+		opts := bench.FleetExpOptions{Workers: *workers, MachinesPerApp: *machines, Pace: *pace}
+		if *app != "" {
+			opts.Only = []string{*app}
+		}
+		if log != nil {
+			opts.Log = log
+		}
+		r, err := bench.RunFleetExp(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet:", err)
+			ok = false
+		} else {
+			bench.RenderFleet(out, r)
 		}
 		fmt.Fprintln(out)
 	}

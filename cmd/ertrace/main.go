@@ -39,7 +39,7 @@ func main() {
 		for _, vs := range strings.Split(vals, ",") {
 			v, err := strconv.ParseUint(strings.TrimSpace(vs), 0, 64)
 			if err != nil {
-				fatal(err)
+				fatal(fmt.Errorf("bad value %q in %q (want tag=v1,v2,...)", vs, arg))
 			}
 			w.Add(tag, v)
 		}
@@ -47,6 +47,11 @@ func main() {
 	tr, res, err := er.RecordTrace(mod, w, 1)
 	if err != nil {
 		fatal(err)
+	}
+	if tr.Truncated {
+		// The ring wrapped and the oldest packets were overwritten.
+		// Dump what survived, but make the loss visible to scripts.
+		fmt.Fprintln(os.Stderr, "ertrace: warning: trace truncated (ring buffer wrapped, oldest packets lost)")
 	}
 	if res.Failure != nil {
 		fmt.Printf("# run failed: %v\n", res.Failure)
@@ -90,6 +95,9 @@ func main() {
 		}
 	}
 	flush()
+	if tr.Truncated {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

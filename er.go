@@ -22,11 +22,17 @@
 //	    fmt.Println(report.TestCase.Streams)     // generated inputs
 //	}
 //
+// Fleet scale: RunFleet deploys many applications across simulated
+// production machines that ship failure traces into a concurrent
+// ingestion/triage subsystem (internal/fleet); distinct failures are
+// bucketed by signature and reconstructed by independent, concurrent
+// ER pipelines.
+//
 // The subsystems are importable directly for finer control:
 // internal/vm (the machine), internal/pt (traces), internal/symex
 // (shepherded symbolic execution), internal/keyselect (key data value
-// selection), internal/core (the iterative loop), internal/bench (the
-// paper's experiments).
+// selection), internal/core (the iterative loop), internal/fleet
+// (ingestion and triage), internal/bench (the paper's experiments).
 package er
 
 import (
@@ -34,6 +40,7 @@ import (
 	"io"
 
 	"execrecon/internal/core"
+	"execrecon/internal/fleet"
 	"execrecon/internal/invariants"
 	"execrecon/internal/ir"
 	"execrecon/internal/minc"
@@ -133,6 +140,55 @@ func ReproduceWith(mod *Module, gen Generator, opts Options) (*Report, error) {
 		RingSize:      opts.RingSize,
 		Log:           opts.Log,
 	})
+}
+
+// Reoccurrence-source types, for callers that deliver failure
+// reoccurrences themselves instead of replaying workloads in-process.
+// Occurrence is one delivered reoccurrence; SourceRequest describes
+// what the loop needs next; Source is the delivery interface
+// (FixedWorkload and custom fleet buckets implement it).
+type (
+	Occurrence    = core.Occurrence
+	SourceRequest = core.SourceRequest
+	Source        = core.ReoccurrenceSource
+)
+
+// ReproduceFrom runs the ER loop against a custom reoccurrence
+// source.
+func ReproduceFrom(mod *Module, src Source, opts Options) (*Report, error) {
+	return core.Reproduce(core.Config{
+		Module:        mod,
+		Source:        src,
+		Symex:         symex.Options{QueryBudget: opts.QueryBudget},
+		MaxIterations: opts.MaxIterations,
+		RingSize:      opts.RingSize,
+		Log:           opts.Log,
+	})
+}
+
+// Fleet-scale types: a Fleet runs many FleetApps across simulated
+// production machines, triages shipped failure traces into
+// per-signature buckets, and reconstructs each distinct failure with
+// an independent concurrent ER pipeline. FleetSnapshot is the live
+// stats surface (queue depths, drops, per-bucket progress).
+type (
+	Fleet         = fleet.Fleet
+	FleetApp      = fleet.App
+	FleetOptions  = fleet.Options
+	FleetResult   = fleet.Result
+	FleetSnapshot = fleet.Snapshot
+)
+
+// NewFleet assembles a fleet (call Start, then Snapshot/Wait).
+func NewFleet(apps []FleetApp, opts FleetOptions) (*Fleet, error) {
+	return fleet.New(apps, opts)
+}
+
+// RunFleet runs a fleet to completion: every distinct failure
+// signature is triaged and reconstructed (or given up on), and the
+// aggregate result returned.
+func RunFleet(apps []FleetApp, opts FleetOptions) (*FleetResult, error) {
+	return fleet.Run(apps, opts)
 }
 
 // CollectObservations runs the module and gathers function entry/exit

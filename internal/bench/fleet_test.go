@@ -1,0 +1,71 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"execrecon/internal/bench"
+)
+
+// TestFleetExpSmoke runs the fleet experiment end-to-end on a small
+// app subset with a tiny pace so the test stays fast. It checks both
+// triage modes resolve and reproduce every selected bug and that the
+// renderer emits the comparison.
+func TestFleetExpSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet experiment runs full ER pipelines; skipped in -short")
+	}
+	only := []string{"SQLite-787fa71", "PHP-2012-2386"}
+	r, err := bench.RunFleetExp(bench.FleetExpOptions{
+		Workers:        4,
+		MachinesPerApp: 2,
+		Only:           only,
+		Pace:           2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("fleet experiment: %v", err)
+	}
+	for _, m := range []bench.FleetModeResult{r.Sequential, r.Parallel} {
+		if m.Resolved != len(only) {
+			t.Errorf("%s: resolved %d buckets, want %d", m.Label, m.Resolved, len(only))
+		}
+		if m.Reproduced != len(only) {
+			t.Errorf("%s: reproduced %d, want %d", m.Label, m.Reproduced, len(only))
+		}
+		if m.Occurrences < int64(len(only)) {
+			t.Errorf("%s: %d occurrences, want >= %d", m.Label, m.Occurrences, len(only))
+		}
+	}
+	if r.Sequential.Workers != 1 {
+		t.Errorf("sequential mode ran with %d workers", r.Sequential.Workers)
+	}
+	if r.Parallel.Workers != 4 {
+		t.Errorf("parallel mode ran with %d workers, want 4", r.Parallel.Workers)
+	}
+	if len(r.Buckets) != len(only) {
+		t.Errorf("bucket results: %d, want %d", len(r.Buckets), len(only))
+	}
+	if r.Speedup <= 0 {
+		t.Errorf("speedup = %v, want > 0", r.Speedup)
+	}
+
+	var sb strings.Builder
+	bench.RenderFleet(&sb, r)
+	out := sb.String()
+	for _, want := range append([]string{"sequential", "parallel", "speedup"}, only...) {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFleetExpRejectsEmptySelection(t *testing.T) {
+	_, err := bench.RunFleetExp(bench.FleetExpOptions{
+		Only: []string{"no-such-app"},
+		Pace: time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("expected error for an empty app selection")
+	}
+}

@@ -4,6 +4,13 @@
 // ship the trace to shepherded symbolic execution, and either emit a
 // verified failure-reproducing test case or run key data value
 // selection, re-instrument, and iterate (§3.3.4).
+//
+// The loop is factored in two layers. Pipeline (pipeline.go) is the
+// analysis state machine, advanced one delivered Occurrence at a
+// time; ReoccurrenceSource (source.go) is where occurrences come
+// from. Reproduce composes the two into the original blocking loop;
+// internal/fleet drives many pipelines concurrently from triaged
+// production traffic.
 package core
 
 import (
@@ -12,8 +19,6 @@ import (
 	"time"
 
 	"execrecon/internal/ir"
-	"execrecon/internal/keyselect"
-	"execrecon/internal/pt"
 	"execrecon/internal/symex"
 	"execrecon/internal/vm"
 )
@@ -28,7 +33,8 @@ type WorkloadGen interface {
 }
 
 // FixedWorkload is a WorkloadGen replaying the same failing input
-// every run — the simplest reoccurrence model.
+// every run — the simplest reoccurrence model. It also implements
+// ReoccurrenceSource (see source.go).
 type FixedWorkload struct {
 	Workload *vm.Workload
 	Seed     int64
@@ -44,7 +50,12 @@ type Config struct {
 	Module *ir.Module
 	Entry  string // defaults to "main"
 	// Gen supplies production inputs; at least some runs must fail.
+	// Ignored when Source is set.
 	Gen WorkloadGen
+	// Source supplies failure reoccurrences directly. When nil,
+	// Reproduce wraps Gen in a GenSource. Pipelines driven manually
+	// via Feed need neither.
+	Source ReoccurrenceSource
 	// Symex configures shepherded symbolic execution. The
 	// QueryBudget plays the role of the paper's 30-second solver
 	// timeout.
@@ -111,172 +122,30 @@ func (c *Config) logf(format string, args ...interface{}) {
 	}
 }
 
-// Reproduce runs the ER loop to completion.
+// Reproduce runs the ER loop to completion: it awaits reoccurrences
+// from the configured source (or workload generator) and feeds them
+// to a Pipeline until the session ends.
 func Reproduce(cfg Config) (*Report, error) {
-	if cfg.Entry == "" {
-		cfg.Entry = "main"
+	src := cfg.Source
+	if src == nil {
+		if cfg.Gen == nil {
+			return nil, fmt.Errorf("core: no workload generator or reoccurrence source")
+		}
+		src = &GenSource{Gen: cfg.Gen}
 	}
-	if cfg.MaxIterations == 0 {
-		cfg.MaxIterations = 16
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.MaxRunsPerIteration == 0 {
-		cfg.MaxRunsPerIteration = 1000
-	}
-	if cfg.RingSize == 0 {
-		cfg.RingSize = pt.DefaultRingSize
-	}
-	if err := cfg.Module.Validate(); err != nil {
-		return nil, fmt.Errorf("core: invalid module: %w", err)
-	}
-
-	deployed := cfg.Module
-	rep := &Report{}
-	var signature *vm.Failure
-	runIdx := 0
-
-	// Deferred-tracing phase: observe (but do not trace) the first
-	// occurrences.
-	for d := 0; d < cfg.DeferTracing; d++ {
-		failRes, err := awaitUntracedFailure(&cfg, deployed, &runIdx, signature)
+	for !p.Done() {
+		occ, err := src.Next(p.Request())
 		if err != nil {
-			rep.FailReason = err.Error()
-			return rep, err
+			p.rep.FailReason = err.Error()
+			return p.rep, err
 		}
-		if signature == nil {
-			signature = failRes.Failure
-			rep.Failure = signature
-			rep.TraceInstrs = failRes.Stats.Instrs
-		}
-		rep.Occurrences++
-		cfg.logf("untraced occurrence %d observed; tracing still deferred", rep.Occurrences)
-	}
-
-	for iter := 0; iter < cfg.MaxIterations; iter++ {
-		// Online phase: run production until the failure reoccurs.
-		trace, failRes, err := awaitFailure(&cfg, deployed, &runIdx, signature)
-		if err != nil {
-			rep.FailReason = err.Error()
-			return rep, err
-		}
-		if signature == nil {
-			signature = failRes.Failure
-			rep.Failure = signature
-			rep.TraceInstrs = failRes.Stats.Instrs
-		}
-		rep.Occurrences++
-		it := Iteration{
-			Occurrence:  rep.Occurrences,
-			TraceEvents: len(trace.Events),
-		}
-
-		// Offline phase: shepherded symbolic execution.
-		eng := symex.New(deployed, trace, failRes.Failure, cfg.Symex)
-		sres := eng.Run(cfg.Entry)
-		it.Status = sres.Status
-		it.StallReason = sres.StallReason
-		it.SymexTime = sres.Stats.Elapsed
-		it.SymexInstrs = sres.Stats.Instrs
-		it.Queries = sres.Stats.SolverQueries
-		it.GraphNodes = sres.Stats.GraphNodes
-		rep.TotalSymexTime += sres.Stats.Elapsed
-
-		switch sres.Status {
-		case symex.StatusCompleted:
-			rep.Iterations = append(rep.Iterations, it)
-			rep.Reproduced = true
-			rep.TestCase = sres.TestCase
-			// Verify: the generated input must reproduce the same
-			// failure signature on a fresh concrete run.
-			_, seed := cfg.Gen.Run(0)
-			ver := vm.New(cfg.Module, vm.Config{Input: sres.TestCase.Clone(), Seed: seed}).Run(cfg.Entry)
-			rep.Verified = ver.Failure.SameSignature(signature)
-			cfg.logf("iteration %d: reproduced after %d occurrence(s); verified=%v",
-				iter+1, rep.Occurrences, rep.Verified)
-			return rep, nil
-
-		case symex.StatusStalled:
-			cfg.logf("iteration %d: stalled (%s); selecting key data values", iter+1, sres.StallReason)
-			var sites []symex.SiteKey
-			var cost int64
-			selStart := time.Now()
-			if cfg.RandomSelection {
-				sites, cost, err = randomSelection(sres, cfg.RandomSeed+int64(iter))
-			} else {
-				var sel *keyselect.Selection
-				sel, err = keyselect.Select(sres)
-				if err == nil {
-					sites, cost = sel.Sites, sel.TotalCostBytes
-				}
-			}
-			it.SelectTime = time.Since(selStart)
-			if err != nil {
-				rep.Iterations = append(rep.Iterations, it)
-				rep.FailReason = err.Error()
-				return rep, fmt.Errorf("core: selection failed: %w", err)
-			}
-			it.RecordingSites = len(sites)
-			it.RecordingCost = cost
-			rep.Iterations = append(rep.Iterations, it)
-			deployed, err = keyselect.Instrument(deployed, sites)
-			if err != nil {
-				rep.FailReason = err.Error()
-				return rep, err
-			}
-			cfg.logf("iteration %d: instrumenting %d site(s), cost %d bytes/occurrence",
-				iter+1, len(sites), cost)
-
-		default:
-			rep.Iterations = append(rep.Iterations, it)
-			rep.FailReason = fmt.Sprintf("symbolic execution %v: %v", sres.Status, sres.Err)
-			return rep, fmt.Errorf("core: %s", rep.FailReason)
+		if _, err := p.Feed(occ); err != nil {
+			return p.Report(), err
 		}
 	}
-	rep.FailReason = fmt.Sprintf("not reproduced within %d iterations", cfg.MaxIterations)
-	return rep, nil
-}
-
-// awaitUntracedFailure runs production workloads without any tracer
-// until the (matching) failure occurs.
-func awaitUntracedFailure(cfg *Config, mod *ir.Module, runIdx *int, signature *vm.Failure) (*vm.Result, error) {
-	for tries := 0; tries < cfg.MaxRunsPerIteration; tries++ {
-		w, seed := cfg.Gen.Run(*runIdx)
-		*runIdx++
-		res := vm.New(mod, vm.Config{Input: w, Seed: seed}).Run(cfg.Entry)
-		if res.Failure == nil {
-			continue
-		}
-		if signature != nil && !res.Failure.SameSignature(signature) {
-			continue
-		}
-		return res, nil
-	}
-	return nil, fmt.Errorf("core: failure did not reoccur within %d runs", cfg.MaxRunsPerIteration)
-}
-
-// awaitFailure runs production workloads until a failure (matching
-// the signature, if known) occurs, returning its decoded trace.
-func awaitFailure(cfg *Config, mod *ir.Module, runIdx *int, signature *vm.Failure) (*pt.Trace, *vm.Result, error) {
-	for tries := 0; tries < cfg.MaxRunsPerIteration; tries++ {
-		w, seed := cfg.Gen.Run(*runIdx)
-		*runIdx++
-		ring := pt.NewRing(cfg.RingSize)
-		enc := pt.NewEncoder(ring)
-		res := vm.New(mod, vm.Config{Input: w, Tracer: enc, Seed: seed}).Run(cfg.Entry)
-		if res.Failure == nil {
-			continue
-		}
-		if signature != nil && !res.Failure.SameSignature(signature) {
-			continue // a different bug; keep waiting for ours
-		}
-		enc.Finish()
-		trace, err := pt.Decode(ring)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: trace decode: %w", err)
-		}
-		if trace.Truncated {
-			return nil, nil, fmt.Errorf("core: trace ring overflowed (%d bytes lost); increase RingSize", trace.LostBytes)
-		}
-		return trace, res, nil
-	}
-	return nil, nil, fmt.Errorf("core: failure did not reoccur within %d runs", cfg.MaxRunsPerIteration)
+	return p.Report(), p.Err()
 }

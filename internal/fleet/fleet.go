@@ -1,0 +1,458 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"execrecon/internal/core"
+	"execrecon/internal/ir"
+	"execrecon/internal/prod"
+	"execrecon/internal/pt"
+	"execrecon/internal/symex"
+	"execrecon/internal/vm"
+)
+
+// App is one application deployed across the fleet. Its machines
+// replay the failing workload (each reoccurrence ships a trace blob)
+// until the app's failure bucket finishes reconstruction.
+type App struct {
+	Name   string
+	Module *ir.Module
+	// Entry is the entry function (default "main").
+	Entry string
+	// Failing constructs the bug-triggering workload.
+	Failing func() *vm.Workload
+	// Seed is the scheduler seed of failing runs (relevant for
+	// multithreaded bugs).
+	Seed int64
+	// Machines is the number of producer machines running this app
+	// (default Options.MachinesPerApp).
+	Machines int
+	// Symex configures shepherded symbolic execution for this app's
+	// pipeline.
+	Symex symex.Options
+}
+
+// Options tunes the fleet.
+type Options struct {
+	// Shards is the ingest shard count (default 4).
+	Shards int
+	// QueueCap is the per-shard ingest capacity (default 256).
+	QueueCap int
+	// Policy selects overflow behavior (default Backpressure).
+	Policy OverflowPolicy
+	// Workers is the scheduler worker-pool size: how many ER
+	// pipelines run concurrently (default GOMAXPROCS).
+	Workers int
+	// MachinesPerApp is the default producer count per app
+	// (default 2).
+	MachinesPerApp int
+	// PendingCap bounds each bucket's reoccurrence queue
+	// (default 64).
+	PendingCap int
+	// RingSize is the machines' per-run trace buffer
+	// (default prod.MachineRingSize).
+	RingSize int
+	// MaxIterations bounds each pipeline's reoccurrence loop
+	// (default 16).
+	MaxIterations int
+	// Pace spaces each machine's production runs (default 1ms),
+	// modelling request arrival rather than a busy loop.
+	Pace time.Duration
+	// ExpectFailures is how many distinct failure signatures the
+	// fleet waits to resolve before shutting down (default: one per
+	// app).
+	ExpectFailures int
+	// Timeout bounds the whole fleet run (default 2 minutes;
+	// negative disables).
+	Timeout time.Duration
+	// Log receives progress lines when set.
+	Log io.Writer
+}
+
+func (o *Options) withDefaults(apps int) Options {
+	v := *o
+	if v.Shards <= 0 {
+		v.Shards = 4
+	}
+	if v.QueueCap <= 0 {
+		v.QueueCap = 256
+	}
+	if v.Workers <= 0 {
+		v.Workers = runtime.GOMAXPROCS(0)
+	}
+	if v.MachinesPerApp <= 0 {
+		v.MachinesPerApp = 2
+	}
+	if v.PendingCap <= 0 {
+		v.PendingCap = 64
+	}
+	if v.RingSize <= 0 {
+		v.RingSize = prod.MachineRingSize
+	}
+	if v.MaxIterations <= 0 {
+		v.MaxIterations = 16
+	}
+	if v.Pace == 0 {
+		v.Pace = time.Millisecond
+	}
+	if v.ExpectFailures <= 0 {
+		v.ExpectFailures = apps
+	}
+	if v.Timeout == 0 {
+		v.Timeout = 2 * time.Minute
+	}
+	return v
+}
+
+// Fleet wires machines, ingest, triage, and the pipeline scheduler
+// together.
+type Fleet struct {
+	opts   Options
+	apps   []App
+	byName map[string]*appGroup
+
+	ingest    *Ingest
+	table     *Table
+	work      chan *Bucket
+	completed chan *Bucket
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup // machines + triage + workers
+	started  atomic.Bool
+	start    time.Time
+	resolved atomic.Int64 // completed buckets
+
+	waitOnce sync.Once
+	result   *Result
+	waitErr  error
+}
+
+// appGroup is an app plus its producer machines.
+type appGroup struct {
+	app      App
+	machines []*prod.Machine
+}
+
+// Result is the outcome of a fleet run.
+type Result struct {
+	// Elapsed is the end-to-end wall time from Start to the last
+	// bucket resolving.
+	Elapsed time.Duration
+	// Buckets holds the final per-bucket outcomes in bucket order.
+	Buckets []BucketResult
+	// Final is the closing stats snapshot.
+	Final Snapshot
+}
+
+// BucketResult pairs a bucket's final snapshot with its pipeline
+// report.
+type BucketResult struct {
+	BucketSnapshot
+	Report *core.Report
+}
+
+// New validates the apps and assembles a fleet (not yet running).
+func New(apps []App, opts Options) (*Fleet, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("fleet: no applications")
+	}
+	o := opts.withDefaults(len(apps))
+	f := &Fleet{
+		opts:      o,
+		apps:      apps,
+		byName:    make(map[string]*appGroup, len(apps)),
+		ingest:    NewIngest(o.Shards, o.QueueCap, o.Policy),
+		table:     NewTable(o.PendingCap),
+		work:      make(chan *Bucket, 4096),
+		completed: make(chan *Bucket, 4096),
+	}
+	machineID := 0
+	for i := range apps {
+		a := apps[i]
+		if a.Name == "" {
+			return nil, fmt.Errorf("fleet: app %d has no name", i)
+		}
+		if _, dup := f.byName[a.Name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate app %q", a.Name)
+		}
+		if a.Module == nil {
+			return nil, fmt.Errorf("fleet: app %q has no module", a.Name)
+		}
+		if a.Failing == nil {
+			return nil, fmt.Errorf("fleet: app %q has no failing workload", a.Name)
+		}
+		g := &appGroup{app: a}
+		n := a.Machines
+		if n <= 0 {
+			n = o.MachinesPerApp
+		}
+		for m := 0; m < n; m++ {
+			base := a.Failing()
+			seed := a.Seed
+			mc := &prod.Machine{
+				App:      a.Name,
+				ID:       machineID,
+				Entry:    a.Entry,
+				Gen:      func(int) (*vm.Workload, int64) { return base.Clone(), seed },
+				Sink:     f.ingest,
+				RingSize: o.RingSize,
+				Pace:     o.Pace,
+				Trace:    true,
+			}
+			mc.Deploy(prod.Deployment{Module: a.Module, Version: 0})
+			g.machines = append(g.machines, mc)
+			machineID++
+		}
+		f.byName[a.Name] = g
+	}
+	return f, nil
+}
+
+func (f *Fleet) logf(format string, args ...interface{}) {
+	if f.opts.Log != nil {
+		fmt.Fprintf(f.opts.Log, format+"\n", args...)
+	}
+}
+
+// Start spins up the producer machines, the triage drainers (one per
+// ingest shard), and the scheduler worker pool.
+func (f *Fleet) Start() error {
+	if !f.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("fleet: already started")
+	}
+	f.ctx, f.cancel = context.WithCancel(context.Background())
+	f.start = time.Now()
+
+	for s := 0; s < f.ingest.Shards(); s++ {
+		f.wg.Add(1)
+		go f.drainShard(s)
+	}
+	for w := 0; w < f.opts.Workers; w++ {
+		f.wg.Add(1)
+		go f.worker()
+	}
+	for _, g := range f.byName {
+		for _, m := range g.machines {
+			f.wg.Add(1)
+			go func(m *prod.Machine) {
+				defer f.wg.Done()
+				m.Serve(f.ctx)
+			}(m)
+		}
+	}
+	return nil
+}
+
+// drainShard is the triage consumer of one ingest shard: it interns
+// the failure signature (creating a bucket exactly once per distinct
+// failure), queues the occurrence for the bucket's pipeline, and
+// hands new buckets to the scheduler.
+func (f *Fleet) drainShard(s int) {
+	defer f.wg.Done()
+	sh := f.ingest.Shard(s)
+	for {
+		select {
+		case <-f.ctx.Done():
+			return
+		case msg := <-sh:
+			b, isNew := f.table.Intern(msg.Failure, msg.App)
+			b.offer(msg)
+			if isNew {
+				f.logf("fleet: new failure bucket %d (%s): %v", b.ID, b.App, b.Sig)
+				select {
+				case f.work <- b:
+				default:
+					// Scheduler queue saturated (4096 distinct
+					// in-flight failures); resolve as failed so the
+					// fleet still terminates.
+					b.state.Store(int32(BucketFailed))
+					f.bucketDone(b)
+				}
+			}
+		}
+	}
+}
+
+// worker runs queued buckets' pipelines to completion, one at a time.
+func (f *Fleet) worker() {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-f.ctx.Done():
+			return
+		case b := <-f.work:
+			f.runBucket(b)
+		}
+	}
+}
+
+// runBucket drives one bucket's ER pipeline event-driven: each
+// delivered reoccurrence advances the pipeline one step, and each
+// re-instrumentation is rolled out to the app's machines, whose next
+// failing runs ship the richer traces the pipeline asked for.
+func (f *Fleet) runBucket(b *Bucket) {
+	b.state.Store(int32(BucketRunning))
+	g := f.byName[b.App]
+	if g == nil {
+		f.logf("fleet: bucket %d names unknown app %q; abandoning", b.ID, b.App)
+		b.state.Store(int32(BucketFailed))
+		f.bucketDone(b)
+		return
+	}
+	p, err := core.NewPipeline(core.Config{
+		Module:        g.app.Module,
+		Entry:         g.app.Entry,
+		Symex:         g.app.Symex,
+		MaxIterations: f.opts.MaxIterations,
+		RingSize:      f.opts.RingSize,
+		Log:           f.opts.Log,
+	})
+	if err != nil {
+		f.logf("fleet: bucket %d (%s): %v", b.ID, b.App, err)
+		b.state.Store(int32(BucketFailed))
+		f.bucketDone(b)
+		return
+	}
+	for !p.Done() {
+		select {
+		case <-f.ctx.Done():
+			b.state.Store(int32(BucketFailed))
+			f.bucketDone(b)
+			return
+		case msg := <-b.pending:
+			if msg.Version != p.Version() {
+				// Recorded on an out-of-date deployment (pre-rollout
+				// binary still reporting); the trace lacks the
+				// recorded values this iteration needs.
+				b.staleDrops.Add(1)
+				continue
+			}
+			occ, err := occurrenceFrom(msg)
+			if err != nil {
+				b.badDrops.Add(1)
+				f.logf("fleet: bucket %d (%s): dropping blob: %v", b.ID, b.App, err)
+				continue
+			}
+			before := p.Version()
+			if _, err := p.Feed(occ); err != nil {
+				f.logf("fleet: bucket %d (%s): pipeline: %v", b.ID, b.App, err)
+			}
+			b.iterations.Store(int32(len(p.Report().Iterations)))
+			if p.Version() != before && !p.Done() {
+				// Key data values selected: roll the instrumented
+				// module out to this app's machines.
+				dep := prod.Deployment{Module: p.Deployed(), Version: p.Version()}
+				for _, m := range g.machines {
+					m.Deploy(dep)
+				}
+				f.logf("fleet: bucket %d (%s): rolled out instrumented deployment v%d",
+					b.ID, b.App, p.Version())
+			}
+		}
+	}
+	rep := p.Report()
+	b.report.Store(rep)
+	if rep.Reproduced {
+		b.state.Store(int32(BucketReproduced))
+	} else {
+		b.state.Store(int32(BucketFailed))
+	}
+	// Retire this app's machines: its failure is resolved, so the
+	// fleet stops spending production capacity reproducing it.
+	for _, m := range g.machines {
+		m.Deploy(prod.Deployment{})
+	}
+	f.bucketDone(b)
+}
+
+func (f *Fleet) bucketDone(b *Bucket) {
+	b.doneAt.Store(time.Now().UnixNano())
+	f.resolved.Add(1)
+	select {
+	case f.completed <- b:
+	default:
+	}
+}
+
+// occurrenceFrom decodes a shipped trace blob into a pipeline
+// occurrence.
+func occurrenceFrom(msg *prod.TraceMsg) (*core.Occurrence, error) {
+	occ := &core.Occurrence{
+		Result: &vm.Result{
+			Failure: msg.Failure,
+			Stats:   vm.Stats{Instrs: msg.Instrs},
+		},
+		Seed: msg.Seed,
+	}
+	if msg.Ring == nil {
+		return occ, nil // untraced occurrence (deferred-tracing fleet)
+	}
+	tr, err := pt.Decode(msg.Ring)
+	if err != nil {
+		return nil, fmt.Errorf("trace decode: %w", err)
+	}
+	if tr.Truncated {
+		return nil, fmt.Errorf("trace ring overflowed (%d bytes lost)", tr.LostBytes)
+	}
+	occ.Trace = tr
+	return occ, nil
+}
+
+// Wait blocks until every expected failure resolves (or the timeout
+// fires), then shuts the fleet down and returns the aggregate result.
+func (f *Fleet) Wait() (*Result, error) {
+	f.waitOnce.Do(func() {
+		var timeout <-chan time.Time
+		if f.opts.Timeout > 0 {
+			t := time.NewTimer(f.opts.Timeout)
+			defer t.Stop()
+			timeout = t.C
+		}
+		expect := int64(f.opts.ExpectFailures)
+		done := 0
+	loop:
+		for int64(done) < expect {
+			select {
+			case <-f.completed:
+				done++
+			case <-timeout:
+				f.waitErr = fmt.Errorf("fleet: timed out after %v with %d/%d failures resolved",
+					f.opts.Timeout, done, expect)
+				break loop
+			}
+		}
+		elapsed := time.Since(f.start)
+		f.cancel()
+		f.ingest.Close()
+		f.wg.Wait()
+
+		res := &Result{Elapsed: elapsed, Final: f.Snapshot()}
+		for _, b := range f.table.Buckets() {
+			res.Buckets = append(res.Buckets, BucketResult{
+				BucketSnapshot: f.snapshotBucket(b),
+				Report:         b.report.Load(),
+			})
+		}
+		f.result = res
+	})
+	return f.result, f.waitErr
+}
+
+// Run is the one-shot convenience: New + Start + Wait.
+func Run(apps []App, opts Options) (*Result, error) {
+	f, err := New(apps, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Start(); err != nil {
+		return nil, err
+	}
+	return f.Wait()
+}

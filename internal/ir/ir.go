@@ -14,7 +14,10 @@
 // the failure classes of Table 1.
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Width is an operation width in bits.
 type Width uint8
@@ -258,21 +261,43 @@ type Global struct {
 	Init []byte
 }
 
-// Module is a complete program.
+// Module is a complete program. Once built, a Module is read-only and
+// safe for concurrent execution by many VMs (a production fleet runs
+// the same deployed module on every machine); the lazily built
+// function index is guarded accordingly.
 type Module struct {
 	Name    string
 	Funcs   []*Func
 	Globals []*Global
 
+	idxMu   sync.RWMutex
 	funcIdx map[string]int
+}
+
+// index returns the name→index map, building it on first use. Safe
+// for concurrent callers.
+func (m *Module) index() map[string]int {
+	m.idxMu.RLock()
+	idx := m.funcIdx
+	m.idxMu.RUnlock()
+	if idx != nil {
+		return idx
+	}
+	m.idxMu.Lock()
+	defer m.idxMu.Unlock()
+	if m.funcIdx == nil {
+		idx := make(map[string]int, len(m.Funcs))
+		for i, f := range m.Funcs {
+			idx[f.Name] = i
+		}
+		m.funcIdx = idx
+	}
+	return m.funcIdx
 }
 
 // FuncByName returns the function with the given name, or nil.
 func (m *Module) FuncByName(name string) *Func {
-	if m.funcIdx == nil {
-		m.buildIndex()
-	}
-	if i, ok := m.funcIdx[name]; ok {
+	if i, ok := m.index()[name]; ok {
 		return m.Funcs[i]
 	}
 	return nil
@@ -280,26 +305,18 @@ func (m *Module) FuncByName(name string) *Func {
 
 // FuncIndex returns the index of the named function, or -1.
 func (m *Module) FuncIndex(name string) int {
-	if m.funcIdx == nil {
-		m.buildIndex()
-	}
-	if i, ok := m.funcIdx[name]; ok {
+	if i, ok := m.index()[name]; ok {
 		return i
 	}
 	return -1
 }
 
-func (m *Module) buildIndex() {
-	m.funcIdx = make(map[string]int, len(m.Funcs))
-	for i, f := range m.Funcs {
-		m.funcIdx[f.Name] = i
-	}
-}
-
-// AddFunc appends f to the module.
+// AddFunc appends f to the module and invalidates the index.
 func (m *Module) AddFunc(f *Func) {
 	m.Funcs = append(m.Funcs, f)
+	m.idxMu.Lock()
 	m.funcIdx = nil
+	m.idxMu.Unlock()
 }
 
 // AddGlobal appends g and returns its index.

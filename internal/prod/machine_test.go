@@ -1,0 +1,193 @@
+package prod_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"execrecon/internal/ir"
+	"execrecon/internal/minc"
+	"execrecon/internal/prod"
+	"execrecon/internal/pt"
+	"execrecon/internal/vm"
+)
+
+func compileMachine(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	mod, err := minc.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return mod
+}
+
+// recordSink collects every emitted message; Accept toggles the
+// accept/drop response so drop accounting can be exercised.
+type recordSink struct {
+	mu     sync.Mutex
+	msgs   []*prod.TraceMsg
+	accept bool
+}
+
+func (s *recordSink) Emit(msg *prod.TraceMsg) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.msgs = append(s.msgs, msg)
+	return s.accept
+}
+
+func (s *recordSink) all() []*prod.TraceMsg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*prod.TraceMsg(nil), s.msgs...)
+}
+
+const mixSrc = `
+func main() int {
+	int x = input32("x");
+	assert(x != 42, "the answer");
+	return 0;
+}`
+
+func TestMachineShipsFailingRunsOnly(t *testing.T) {
+	mod := compileMachine(t, mixSrc)
+	sink := &recordSink{accept: true}
+	m := &prod.Machine{
+		App: "demo",
+		ID:  3,
+		Gen: func(i int) (*vm.Workload, int64) {
+			if i%2 == 0 {
+				return vm.NewWorkload().Add("x", 7), int64(i) // benign
+			}
+			return vm.NewWorkload().Add("x", 42), int64(i) // fails
+		},
+		Sink:  sink,
+		Trace: true,
+	}
+	m.Deploy(prod.Deployment{Module: mod, Version: 0})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); m.Serve(ctx) }()
+	waitFor(t, func() bool { return m.Stats().Shipped >= 4 })
+	cancel()
+	<-done
+
+	st := m.Stats()
+	if st.Fails != st.Shipped {
+		t.Errorf("fails=%d shipped=%d, want equal (accepting sink)", st.Fails, st.Shipped)
+	}
+	if st.Runs <= st.Fails {
+		t.Errorf("runs=%d fails=%d: benign runs should also execute", st.Runs, st.Fails)
+	}
+	for i, msg := range sink.all() {
+		if msg.App != "demo" || msg.Machine != 3 {
+			t.Fatalf("msg %d routing metadata = %q/%d", i, msg.App, msg.Machine)
+		}
+		if msg.Failure == nil || msg.Failure.Kind != vm.FailAssert {
+			t.Fatalf("msg %d failure = %v", i, msg.Failure)
+		}
+		if msg.Ring == nil {
+			t.Fatalf("msg %d shipped without a ring despite Trace=true", i)
+		}
+		if msg.Seed%2 != 1 {
+			t.Fatalf("msg %d seed = %d, want odd (failing runs only)", i, msg.Seed)
+		}
+		// The shipped blob must decode into the failing run's trace.
+		tr, err := pt.Decode(msg.Ring)
+		if err != nil {
+			t.Fatalf("msg %d decode: %v", i, err)
+		}
+		if len(tr.Events) == 0 {
+			t.Fatalf("msg %d decoded to an empty trace", i)
+		}
+	}
+}
+
+func TestMachineDeploymentVersionAndRetirement(t *testing.T) {
+	mod := compileMachine(t, mixSrc)
+	sink := &recordSink{accept: true}
+	m := &prod.Machine{
+		App:   "demo",
+		Gen:   func(int) (*vm.Workload, int64) { return vm.NewWorkload().Add("x", 42), 1 },
+		Sink:  sink,
+		Trace: true,
+	}
+	m.Deploy(prod.Deployment{Module: mod, Version: 0})
+
+	done := make(chan struct{})
+	go func() { defer close(done); m.Serve(context.Background()) }()
+	waitFor(t, func() bool { return m.Stats().Shipped >= 1 })
+
+	// Roll out version 1; new messages must carry it.
+	m.Deploy(prod.Deployment{Module: mod, Version: 1})
+	waitFor(t, func() bool {
+		for _, msg := range sink.all() {
+			if msg.Version == 1 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Retiring (zero Deployment) must exit Serve without cancelling
+	// the context — the fleet's wind-down path.
+	m.Deploy(prod.Deployment{})
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not exit after retirement deploy")
+	}
+	if got := m.Current(); got.Module != nil {
+		t.Errorf("Current after retirement = %+v, want zero", got)
+	}
+	for _, msg := range sink.all() {
+		if msg.Version != 0 && msg.Version != 1 {
+			t.Errorf("unexpected deployment version %d", msg.Version)
+		}
+	}
+}
+
+func TestMachineDropAccountingAndUntraced(t *testing.T) {
+	mod := compileMachine(t, mixSrc)
+	sink := &recordSink{accept: false} // sink rejects everything
+	m := &prod.Machine{
+		App:   "demo",
+		Gen:   func(int) (*vm.Workload, int64) { return vm.NewWorkload().Add("x", 42), 1 },
+		Sink:  sink,
+		Trace: false, // deferred-tracing fleet: no ring shipped
+	}
+	m.Deploy(prod.Deployment{Module: mod, Version: 0})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); m.Serve(ctx) }()
+	waitFor(t, func() bool { return m.Stats().Dropped >= 3 })
+	cancel()
+	<-done
+
+	st := m.Stats()
+	if st.Shipped != 0 {
+		t.Errorf("shipped=%d with a rejecting sink, want 0", st.Shipped)
+	}
+	if st.Dropped != st.Fails {
+		t.Errorf("dropped=%d fails=%d, want equal", st.Dropped, st.Fails)
+	}
+	for i, msg := range sink.all() {
+		if msg.Ring != nil {
+			t.Fatalf("msg %d carries a ring despite Trace=false", i)
+		}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -77,6 +77,15 @@ func (r *Ring) Bytes() (data []byte, lost uint64) {
 // figure used by the overhead model).
 func (r *Ring) Written() uint64 { return r.written }
 
+// Reset rewinds the ring for reuse without reallocating its buffer.
+// Production machines (internal/prod) reuse one ring across benign
+// runs and only ship (and replace) it when a run fails, so steady
+// traffic does not allocate a fresh trace buffer per run.
+func (r *Ring) Reset() { r.written = 0 }
+
+// Cap returns the ring's capacity in bytes.
+func (r *Ring) Cap() int { return len(r.buf) }
+
 // Encoder serializes trace events into a Ring. It implements the
 // vm.Tracer shape (the vm package defines the interface; this type
 // satisfies it structurally).
