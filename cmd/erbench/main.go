@@ -15,6 +15,9 @@
 //	mt        §3.4 multithreaded reconstruction summary
 //	fleet     fleet-scale triage: the 13 apps as one mixed workload,
 //	          sequential vs parallel ER pipelines (internal/fleet)
+//	solvecache  incremental solver-session ablation: fresh-per-query vs
+//	          one persistent session per pipeline (cumulative solver
+//	          time, constraint reuse, verdict parity)
 //	all       everything above
 package main
 
@@ -32,6 +35,7 @@ import (
 var experiments = []string{
 	"fig1", "table1", "offline", "fig5", "fig6", "random",
 	"accuracy", "rept", "mimic", "ablation", "mt", "fleet",
+	"solvecache",
 }
 
 func validExp(name string) bool {
@@ -64,6 +68,25 @@ func main() {
 	if !validExp(*exp) {
 		fmt.Fprintf(os.Stderr, "erbench: unknown experiment %q (valid: %s, all)\n",
 			*exp, strings.Join(experiments, ", "))
+		os.Exit(2)
+	}
+	// Fleet sizing flags must be sane: a negative worker pool,
+	// machine count, or pace is always a caller mistake — fail fast
+	// instead of letting withDefaults silently "correct" it.
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "erbench: -workers must be >= 0 (got %d)\n", *workers)
+		os.Exit(2)
+	}
+	if *machines < 0 {
+		fmt.Fprintf(os.Stderr, "erbench: -machines must be >= 0 (got %d)\n", *machines)
+		os.Exit(2)
+	}
+	if *pace < 0 {
+		fmt.Fprintf(os.Stderr, "erbench: -pace must be >= 0 (got %v)\n", *pace)
+		os.Exit(2)
+	}
+	if *runs <= 0 {
+		fmt.Fprintf(os.Stderr, "erbench: -runs must be > 0 (got %d)\n", *runs)
 		os.Exit(2)
 	}
 	if *app != "" && apps.ByName(*app) == nil {
@@ -213,6 +236,24 @@ func main() {
 			ok = false
 		} else {
 			bench.RenderFleet(out, r)
+		}
+		fmt.Fprintln(out)
+	}
+	if run("solvecache") {
+		fmt.Fprintln(out, "== incremental solver-session ablation (fresh vs session) ==")
+		opts := bench.SolveCacheOptions{}
+		if *app != "" {
+			opts.Only = []string{*app}
+		}
+		if log != nil {
+			opts.Log = log
+		}
+		r, err := bench.RunSolveCache(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "solvecache:", err)
+			ok = false
+		} else {
+			bench.RenderSolveCache(out, r)
 		}
 		fmt.Fprintln(out)
 	}

@@ -94,17 +94,28 @@ func RunFig5(appName string) (*Fig5Result, error) {
 			return nil, err
 		}
 		// Solver timeout disabled (§5.2): every configuration
-		// executes the same instructions to completion.
-		eng := symex.New(m, trace, failRes.Failure, symex.Options{ProgressEvery: 64})
-		sres := eng.Run("main")
-		if sres.Status != symex.StatusCompleted {
-			return nil, fmt.Errorf("bench: fig5 generation %d: %v (%v)", i, sres.Status, sres.Err)
+		// executes the same instructions to completion. The work per
+		// configuration is deterministic but the later generations
+		// finish in single-digit milliseconds, where one scheduling
+		// hiccup dwarfs the real difference — so measure each
+		// configuration a few times and keep the fastest run, the
+		// standard noise-robust estimator for fixed work.
+		var best *symex.Result
+		for rep := 0; rep < 3; rep++ {
+			eng := symex.New(m, trace, failRes.Failure, symex.Options{ProgressEvery: 64})
+			sres := eng.Run("main")
+			if sres.Status != symex.StatusCompleted {
+				return nil, fmt.Errorf("bench: fig5 generation %d: %v (%v)", i, sres.Status, sres.Err)
+			}
+			if best == nil || sres.Stats.Elapsed < best.Stats.Elapsed {
+				best = sres
+			}
 		}
 		res.Series = append(res.Series, Fig5Series{
 			Label:  labels[i],
-			Points: sres.Progress,
-			Total:  sres.Stats.Elapsed,
-			Instrs: sres.Stats.Instrs,
+			Points: best.Progress,
+			Total:  best.Stats.Elapsed,
+			Instrs: best.Stats.Instrs,
 		})
 	}
 	return res, nil

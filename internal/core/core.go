@@ -80,6 +80,18 @@ type Config struct {
 	RandomSelection bool
 	// RandomSeed seeds the random-selection baseline.
 	RandomSeed int64
+	// IncrementalSolver shares one persistent solver session across
+	// the pipeline's iterations: Tseitin definitions, Ackermann
+	// lemmas, and CDCL learned clauses survive from one reoccurrence
+	// to the next, so iteration N+1 re-pays only for constraints it
+	// has not seen before. Off by default (fresh solver per query,
+	// the original behaviour). Overridden by Symex.Solver when the
+	// caller injects its own session.
+	IncrementalSolver bool
+	// SolverMaxSessionNodes bounds the incremental session's interned
+	// expression nodes before its caches reset (0 = solver default);
+	// only meaningful with IncrementalSolver.
+	SolverMaxSessionNodes int
 }
 
 // Iteration reports one pass of the loop.
@@ -92,6 +104,11 @@ type Iteration struct {
 	SymexTime   time.Duration
 	SymexInstrs int64
 	Queries     int64
+	// SolverSteps is the abstract solver work metered during this
+	// iteration; SolverTime the wall time spent inside solver queries
+	// (a subset of SymexTime).
+	SolverSteps int64
+	SolverTime  time.Duration
 	GraphNodes  int
 	SelectTime  time.Duration
 	// Recording describes what the next deployment will record.
@@ -110,6 +127,9 @@ type Report struct {
 	// TotalSymexTime sums shepherded symbolic execution time across
 	// iterations ("Symbex Time" of Table 1).
 	TotalSymexTime time.Duration
+	// TotalSolverTime sums solver query wall time across iterations —
+	// the headline metric of the solvecache experiment.
+	TotalSolverTime time.Duration
 	// TraceInstrs is the dynamic instruction count of the failing
 	// execution ("#Instr" of Table 1).
 	TraceInstrs int64

@@ -15,6 +15,7 @@ import (
 	"execrecon/internal/ir"
 	"execrecon/internal/keyselect"
 	"execrecon/internal/pt"
+	"execrecon/internal/solver"
 	"execrecon/internal/symex"
 	"execrecon/internal/vm"
 )
@@ -25,9 +26,15 @@ import (
 type Pipeline struct {
 	cfg Config
 
-	deployed  *ir.Module
-	version   int // increments on each re-instrumentation
-	rep       *Report
+	deployed *ir.Module
+	version  int // increments on each re-instrumentation
+	rep      *Report
+	// session is the persistent incremental solver shared by every
+	// iteration's symbolic execution (nil unless
+	// Config.IncrementalSolver is set). Constraint sets differ across
+	// iterations — the session's assumption-based queries make that
+	// sound without any invalidation bookkeeping.
+	session   *solver.Incremental
 	signature *vm.Failure
 	seed      int64 // verification seed (from the first occurrence)
 	haveSeed  bool
@@ -59,12 +66,34 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if err := cfg.Module.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid module: %w", err)
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		cfg:       cfg,
 		deployed:  cfg.Module,
 		rep:       &Report{},
 		deferLeft: cfg.DeferTracing,
-	}, nil
+	}
+	if cfg.IncrementalSolver && cfg.Symex.Solver == nil {
+		// Validate is off to match the engine's fresh-per-query solver
+		// configuration (symex also disables it); the session's
+		// self-checking mode stays available to callers that inject
+		// their own session and is exercised by the differential tests.
+		p.session = solver.NewIncremental(solver.Options{
+			MaxSteps:        cfg.Symex.QueryBudget,
+			Timeout:         cfg.Symex.QueryTimeout,
+			Validate:        false,
+			MaxSessionNodes: cfg.SolverMaxSessionNodes,
+		})
+	}
+	return p, nil
+}
+
+// SolverStats returns the persistent solver session's cumulative
+// statistics (zero value when the pipeline runs without one).
+func (p *Pipeline) SolverStats() solver.IncStats {
+	if p.session == nil {
+		return solver.IncStats{}
+	}
+	return p.session.Stats()
 }
 
 // Deployed returns the module production must currently run — the
@@ -157,16 +186,25 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 		TraceEvents: len(occ.Trace.Events),
 	}
 
-	// Offline phase: shepherded symbolic execution.
-	eng := symex.New(p.deployed, occ.Trace, occ.Result.Failure, p.cfg.Symex)
+	// Offline phase: shepherded symbolic execution. With a persistent
+	// session the engine's queries reuse all Tseitin/Ackermann/learned
+	// work from earlier iterations.
+	sxOpts := p.cfg.Symex
+	if sxOpts.Solver == nil && p.session != nil {
+		sxOpts.Solver = p.session
+	}
+	eng := symex.New(p.deployed, occ.Trace, occ.Result.Failure, sxOpts)
 	sres := eng.Run(p.cfg.Entry)
 	it.Status = sres.Status
 	it.StallReason = sres.StallReason
 	it.SymexTime = sres.Stats.Elapsed
 	it.SymexInstrs = sres.Stats.Instrs
 	it.Queries = sres.Stats.SolverQueries
+	it.SolverSteps = sres.Stats.SolverSteps
+	it.SolverTime = sres.Stats.SolverTime
 	it.GraphNodes = sres.Stats.GraphNodes
 	p.rep.TotalSymexTime += sres.Stats.Elapsed
+	p.rep.TotalSolverTime += sres.Stats.SolverTime
 
 	switch sres.Status {
 	case symex.StatusCompleted:

@@ -71,6 +71,17 @@ type Options struct {
 	// Timeout bounds the whole fleet run (default 2 minutes;
 	// negative disables).
 	Timeout time.Duration
+	// SolverSessions enables a persistent incremental solver session
+	// per bucket pipeline: solver state (Tseitin definitions,
+	// Ackermann lemmas, CDCL learned clauses) is reused across a
+	// bucket's ER iterations and dropped when the bucket retires, so
+	// memory stays bounded by the number of in-flight buckets.
+	// Off by default (fresh solver per query).
+	SolverSessions bool
+	// SolverMaxSessionNodes bounds each session's interned expression
+	// nodes before it resets (0 = solver default); only meaningful
+	// with SolverSessions.
+	SolverMaxSessionNodes int
 	// Log receives progress lines when set.
 	Log io.Writer
 }
@@ -307,12 +318,14 @@ func (f *Fleet) runBucket(b *Bucket) {
 		return
 	}
 	p, err := core.NewPipeline(core.Config{
-		Module:        g.app.Module,
-		Entry:         g.app.Entry,
-		Symex:         g.app.Symex,
-		MaxIterations: f.opts.MaxIterations,
-		RingSize:      f.opts.RingSize,
-		Log:           f.opts.Log,
+		Module:                g.app.Module,
+		Entry:                 g.app.Entry,
+		Symex:                 g.app.Symex,
+		MaxIterations:         f.opts.MaxIterations,
+		RingSize:              f.opts.RingSize,
+		IncrementalSolver:     f.opts.SolverSessions,
+		SolverMaxSessionNodes: f.opts.SolverMaxSessionNodes,
+		Log:                   f.opts.Log,
 	})
 	if err != nil {
 		f.logf("fleet: bucket %d (%s): %v", b.ID, b.App, err)
@@ -345,6 +358,7 @@ func (f *Fleet) runBucket(b *Bucket) {
 				f.logf("fleet: bucket %d (%s): pipeline: %v", b.ID, b.App, err)
 			}
 			b.iterations.Store(int32(len(p.Report().Iterations)))
+			b.recordSolverStats(p)
 			if p.Version() != before && !p.Done() {
 				// Key data values selected: roll the instrumented
 				// module out to this app's machines.

@@ -21,6 +21,17 @@ type Snapshot struct {
 	Accepted int64
 	// Machines aggregates the producer machines' counters.
 	Machines prod.MachineStats
+	// SolverSolves/SolverReused/SolverBlasted/SolverFallbacks/
+	// SolverResets aggregate the buckets' persistent-solver-session
+	// counters (all zero when Options.SolverSessions is off). Reused
+	// vs Blasted is the fleet-wide cache hit split: how many
+	// constraints were answered from session caches versus lowered
+	// from scratch.
+	SolverSolves    int64
+	SolverReused    int64
+	SolverBlasted   int64
+	SolverFallbacks int64
+	SolverResets    int64
 	// Buckets holds per-bucket progress in creation order.
 	Buckets []BucketSnapshot
 }
@@ -44,6 +55,14 @@ type BucketSnapshot struct {
 	BadDrops     int64
 	// Iterations is the pipeline's completed analysis iterations.
 	Iterations int
+	// Solver-session counters (zero unless the fleet runs with
+	// SolverSessions): queries answered, constraints reused from the
+	// session cache vs blasted fresh, validation fallbacks, resets.
+	SolverSolves    int64
+	SolverReused    int64
+	SolverBlasted   int64
+	SolverFallbacks int64
+	SolverResets    int64
 	// Reproduced/Verified mirror the pipeline report once resolved.
 	Reproduced bool
 	Verified   bool
@@ -72,7 +91,13 @@ func (f *Fleet) Snapshot() Snapshot {
 		}
 	}
 	for _, b := range f.table.Buckets() {
-		s.Buckets = append(s.Buckets, f.snapshotBucket(b))
+		bs := f.snapshotBucket(b)
+		s.SolverSolves += bs.SolverSolves
+		s.SolverReused += bs.SolverReused
+		s.SolverBlasted += bs.SolverBlasted
+		s.SolverFallbacks += bs.SolverFallbacks
+		s.SolverResets += bs.SolverResets
+		s.Buckets = append(s.Buckets, bs)
 	}
 	return s
 }
@@ -90,6 +115,12 @@ func (f *Fleet) snapshotBucket(b *Bucket) BucketSnapshot {
 		StaleDrops:   b.staleDrops.Load(),
 		BadDrops:     b.badDrops.Load(),
 		Iterations:   int(b.iterations.Load()),
+
+		SolverSolves:    b.solverSolves.Load(),
+		SolverReused:    b.solverReused.Load(),
+		SolverBlasted:   b.solverBlasted.Load(),
+		SolverFallbacks: b.solverFallbacks.Load(),
+		SolverResets:    b.solverResets.Load(),
 	}
 	if rep := b.report.Load(); rep != nil {
 		bs.Reproduced = rep.Reproduced

@@ -62,14 +62,36 @@ type Bucket struct {
 	badDrops     atomic.Int64 // occurrences dropped as undecodable/truncated
 	state        atomic.Int32
 	iterations   atomic.Int32 // analysis iterations completed so far
-	report       atomic.Pointer[core.Report]
-	firstSeen    time.Time
-	doneAt       atomic.Int64 // unix nanos; 0 while in flight
+	// Solver-session progress mirrored from the pipeline's persistent
+	// incremental solver after each fed occurrence (all zero when the
+	// fleet runs with fresh-per-query solving). The session itself
+	// lives on the pipeline and dies with it when the bucket retires;
+	// only these counters outlive it.
+	solverSolves    atomic.Int64
+	solverReused    atomic.Int64 // constraints answered from the session cache
+	solverBlasted   atomic.Int64 // constraints lowered for the first time
+	solverFallbacks atomic.Int64 // validation-triggered from-scratch solves
+	solverResets    atomic.Int64 // session rebuilds (poison or node bound)
+	report          atomic.Pointer[core.Report]
+	firstSeen       time.Time
+	doneAt          atomic.Int64 // unix nanos; 0 while in flight
 }
 
 // Occurrences returns the total matching occurrences triaged into the
 // bucket (including ones later dropped as stale or overflowed).
 func (b *Bucket) Occurrences() int64 { return b.occurrences.Load() }
+
+// recordSolverStats mirrors the pipeline's persistent-solver counters
+// into the bucket's atomics so concurrent Snapshot calls can read them
+// without touching the (single-goroutine) pipeline.
+func (b *Bucket) recordSolverStats(p *core.Pipeline) {
+	st := p.SolverStats()
+	b.solverSolves.Store(st.Solves)
+	b.solverReused.Store(st.ConstraintsReused)
+	b.solverBlasted.Store(st.ConstraintsBlasted)
+	b.solverFallbacks.Store(st.FreshFallbacks)
+	b.solverResets.Store(st.Resets)
+}
 
 // State returns the bucket's lifecycle state.
 func (b *Bucket) State() BucketState { return BucketState(b.state.Load()) }

@@ -17,24 +17,40 @@ type Budget struct {
 
 	used      int64
 	lastCheck int64
+	checked   bool
 	exhausted bool
 }
+
+// deadlineCheckEvery is the step cadence between wall-clock checks
+// after the first one. It is deliberately much smaller than the old
+// 4096-step cadence: a Solve whose individual steps are expensive
+// (small clause counts, heavy stages) accrues steps slowly, and with a
+// coarse cadence could overrun Options.Timeout by an unbounded factor
+// before the clock was ever consulted.
+const deadlineCheckEvery = 256
 
 // NewBudget returns a budget limited to maxSteps (0 = unlimited).
 func NewBudget(maxSteps int64) *Budget { return &Budget{MaxSteps: maxSteps} }
 
 // spend consumes n steps and reports whether the budget still holds.
+// The deadline is consulted on the very first spend and then on a
+// bounded step cadence, so even tiny-step workloads observe an
+// already-expired deadline immediately instead of running to
+// completion unmetered.
 func (b *Budget) spend(n int64) bool {
 	if b == nil {
 		return true
+	}
+	if b.exhausted {
+		return false
 	}
 	b.used += n
 	if b.MaxSteps > 0 && b.used > b.MaxSteps {
 		b.exhausted = true
 		return false
 	}
-	// Check the wall clock at most every 4096 steps.
-	if !b.Deadline.IsZero() && b.used-b.lastCheck > 4096 {
+	if !b.Deadline.IsZero() && (!b.checked || b.used-b.lastCheck >= deadlineCheckEvery) {
+		b.checked = true
 		b.lastCheck = b.used
 		if time.Now().After(b.Deadline) {
 			b.exhausted = true

@@ -1,0 +1,366 @@
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"execrecon/internal/expr"
+)
+
+// Incremental is a persistent solving session: where Solver re-runs
+// array elimination, bit blasting, and CDCL from scratch on every
+// call, an Incremental keeps all three stages' state alive across
+// queries, so a call over a constraint set that is ~90% shared with
+// the previous one (the shape of every query ER's reconstruction loop
+// issues, within an iteration and across failure reoccurrences) pays
+// only for the new ~10%. It is the solver-side analog of an inference
+// stack's KV cache.
+//
+// The session works in four persistent layers:
+//
+//   - An owned expr.Builder into which every incoming constraint is
+//     translated with Builder.Import, memoized by stable node IDs
+//     (expr.StableID). The per-iteration Builder churn of the ER loop
+//     therefore costs O(new nodes), not O(constraint set).
+//   - A persistent array-elimination pass whose rewrite caches live as
+//     long as the session and whose Ackermann functional-consistency
+//     closure is emitted incrementally (arrayElim.consistencyDelta).
+//     Consistency constraints are consequences of the array axioms, so
+//     they are asserted into the SAT core permanently as lemmas.
+//   - A persistent Tseitin blaster: each distinct constraint is lowered
+//     to CNF exactly once per session, and its definitional clauses
+//     stay in the core forever (they define fresh gate literals and are
+//     valid regardless of which constraints a given query asserts).
+//   - A persistent CDCL core queried through assumptions
+//     (sat.solveAssume): the query's constraint literals are passed as
+//     assumption decisions rather than clauses, so nothing a query
+//     asserts ever needs retracting, the variable map survives, and
+//     every learnt clause remains valid for all later queries.
+//
+// Because constraints enter the core only as assumptions, a query
+// whose constraint set *shrinks* or *changes arbitrarily* (e.g.
+// re-instrumentation concretized a symbolic value and the next
+// iteration's path constraint replaced a symbolic term with an
+// equality) needs no invalidation: the stale cached CNF simply goes
+// unassumed. The remaining ways a cached result could be wrong —
+// stable-ID hash collisions in the import memo, or an internal
+// inconsistency — are caught by model validation (on by default), and
+// any such query falls back to a fresh from-scratch Solve and poisons
+// the session so the next query rebuilds it; FreshFallbacks counts
+// those. Session memory is bounded by Options.MaxSessionNodes: when
+// the owned builder outgrows it the session resets (Resets counts),
+// trading cached work for bounded residency — which is also why fleet
+// buckets can hold one session each and drop it on retirement.
+//
+// An Incremental is not safe for concurrent use; drive each session
+// from a single goroutine (one pipeline = one session).
+type Incremental struct {
+	opts Options
+
+	b    *expr.Builder
+	elim *arrayElim
+	core *sat
+	bl   *blaster
+
+	// pending holds Ackermann consistency lemmas emitted by the
+	// elimination stage but not yet blasted+asserted (budget ran out
+	// mid-flush); they are retried under the next query's budget.
+	pending []*expr.Expr
+
+	poisoned bool
+
+	last  Stats
+	stats IncStats
+}
+
+// IncStats aggregates an Incremental session's lifetime counters —
+// the cache/reuse picture surfaced in fleet.Snapshot and the
+// solvecache experiment.
+type IncStats struct {
+	// Solves counts Solve calls; Sat/Unsat/Unknown their verdicts.
+	Solves  int64
+	Sat     int64
+	Unsat   int64
+	Unknown int64
+	// ConstraintsSeen counts non-trivial top-level constraints across
+	// all queries; ConstraintsReused the ones whose CNF was already
+	// cached from an earlier query (no elimination or blasting work),
+	// ConstraintsBlasted the ones lowered for the first time.
+	ConstraintsSeen    int64
+	ConstraintsReused  int64
+	ConstraintsBlasted int64
+	// ImportHits/ImportMisses are the stable-ID translation memo's
+	// counters: hits are expression nodes recognized from earlier
+	// queries (or earlier ER iterations), misses are newly imported.
+	ImportHits   int64
+	ImportMisses int64
+	// LemmasAsserted counts Ackermann consistency constraints
+	// permanently added to the core.
+	LemmasAsserted int64
+	// FreshFallbacks counts queries answered by a from-scratch Solve
+	// because a cached result failed validation; Resets counts session
+	// rebuilds (poisoning or MaxSessionNodes).
+	FreshFallbacks int64
+	Resets         int64
+	// FastSats counts queries answered by extending the previous
+	// query's satisfying trail without search (the model-extension fast
+	// path); TrailShrinks counts the subset of those that first had to
+	// retract part of the held trail to flip assumptions the previous
+	// model assigned the wrong way.
+	FastSats     int64
+	TrailShrinks int64
+	// Steps/Elapsed accumulate solver work across all queries.
+	Steps   int64
+	Elapsed time.Duration
+	// Nodes is the session builder's current interned-node count and
+	// LearntClauses the CDCL core's current learnt database size —
+	// the session's resident "cache size".
+	Nodes         int
+	LearntClauses int
+}
+
+// DefaultMaxSessionNodes bounds a session's interned expression nodes
+// before it resets (Options.MaxSessionNodes zero value).
+const DefaultMaxSessionNodes = 1 << 20
+
+// NewIncremental returns an empty session with the given per-query
+// options (MaxSteps/Timeout/Validate apply to each Solve call).
+func NewIncremental(opts Options) *Incremental {
+	inc := &Incremental{opts: opts}
+	inc.reset()
+	inc.stats.Resets = 0 // the initial build is not a reset
+	return inc
+}
+
+// reset discards all session state: builder, caches, CNF, and learnt
+// clauses. The next Solve rebuilds from scratch.
+func (inc *Incremental) reset() {
+	if inc.core != nil {
+		// The fast-path counters live on the CDCL core; carry them
+		// across the rebuild so Stats stays cumulative.
+		inc.stats.FastSats += inc.core.fastSats
+		inc.stats.TrailShrinks += inc.core.trailShrinks
+	}
+	inc.b = expr.NewBuilder()
+	inc.elim = newArrayElim(inc.b, nil)
+	inc.core = newSAT(nil)
+	inc.bl = newBlaster(inc.core, nil)
+	inc.pending = nil
+	inc.poisoned = false
+	inc.stats.Resets++
+}
+
+// Reset drops every cached stage result and learnt clause, returning
+// the session to its freshly constructed state. Callers use it when
+// they know the workload changed wholesale; Solve also invokes it on
+// poisoning and when the session outgrows Options.MaxSessionNodes.
+func (inc *Incremental) Reset() { inc.reset() }
+
+// LastStats returns statistics for the most recent Solve call, in the
+// same shape as Solver.LastStats. SATVars/SATClauses report the
+// session core's totals; the CDCL counters are per-call deltas.
+func (inc *Incremental) LastStats() Stats { return inc.last }
+
+// Stats returns the session's cumulative counters.
+func (inc *Incremental) Stats() IncStats {
+	s := inc.stats
+	s.ImportHits, s.ImportMisses = inc.b.ImportStats()
+	s.Nodes = inc.b.NumNodes()
+	s.LearntClauses = len(inc.core.learnts)
+	s.FastSats += inc.core.fastSats
+	s.TrailShrinks += inc.core.trailShrinks
+	return s
+}
+
+// maxNodes returns the session-size bound.
+func (inc *Incremental) maxNodes() int {
+	if inc.opts.MaxSessionNodes > 0 {
+		return inc.opts.MaxSessionNodes
+	}
+	return DefaultMaxSessionNodes
+}
+
+// attach points every persistent stage at the current query's budget
+// and clears sticky budget errors left by an exhausted earlier query.
+func (inc *Incremental) attach(budget *Budget) {
+	inc.elim.budget = budget
+	inc.bl.budget = budget
+	inc.core.budget = budget
+	inc.elim.clearBudgetErr()
+	inc.bl.clearBudgetErr()
+}
+
+// Solve decides the conjunction of cs, reusing every stage result the
+// session has cached from earlier queries. The verdict contract is
+// identical to Solver.Solve: on ResultSat the returned assignment
+// satisfies every constraint (validated when Options.Validate is set),
+// ResultUnsat means the conjunction is unsatisfiable, ResultUnknown
+// that the per-query budget or deadline ran out.
+func (inc *Incremental) Solve(cs []*expr.Expr) (Result, *expr.Assignment, error) {
+	start := time.Now()
+	budget := &Budget{MaxSteps: inc.opts.MaxSteps}
+	if inc.opts.Timeout > 0 {
+		budget.Deadline = start.Add(inc.opts.Timeout)
+	}
+	inc.stats.Solves++
+	if inc.poisoned || inc.b.NumNodes() > inc.maxNodes() {
+		inc.reset()
+	}
+	inc.attach(budget)
+	inc.last = Stats{}
+	prop0, conf0, dec0 := inc.core.propagations, inc.core.conflicts, inc.core.decisions
+
+	res, asn, err := inc.solveQuery(cs)
+
+	inc.last.Steps += budget.Used()
+	inc.last.Elapsed = time.Since(start)
+	inc.last.SATVars = inc.core.numVars
+	inc.last.SATClauses = len(inc.core.clauses)
+	inc.last.Propagations = inc.core.propagations - prop0
+	inc.last.Conflicts = inc.core.conflicts - conf0
+	inc.last.Decisions = inc.core.decisions - dec0
+	inc.stats.Steps += budget.Used()
+	inc.stats.Elapsed += inc.last.Elapsed
+	switch {
+	case err != nil || res == ResultUnknown:
+		inc.stats.Unknown++
+	case res == ResultSat:
+		inc.stats.Sat++
+	default:
+		inc.stats.Unsat++
+	}
+	return res, asn, err
+}
+
+// solveQuery is the budget-attached body of Solve.
+func (inc *Incremental) solveQuery(cs []*expr.Expr) (Result, *expr.Assignment, error) {
+	// Import into the session builder (memoized by stable IDs) and
+	// fast-path trivially decided constraints.
+	imported := make([]*expr.Expr, 0, len(cs))
+	for _, c := range cs {
+		ic := inc.b.Import(c)
+		if ic.IsTrue() {
+			continue
+		}
+		if ic.IsFalse() {
+			return ResultUnsat, nil, nil
+		}
+		if !ic.IsBool() {
+			return ResultUnknown, nil, fmt.Errorf("solver: non-boolean constraint %s", ic.Kind)
+		}
+		imported = append(imported, ic)
+	}
+	if len(imported) == 0 {
+		return ResultSat, expr.NewAssignment(), nil
+	}
+
+	// Stage 1: array elimination, cached across queries.
+	pure := make([]*expr.Expr, 0, len(imported))
+	for _, ic := range imported {
+		p := inc.elim.rewrite(ic)
+		if inc.elim.err == errBudget {
+			return ResultUnknown, nil, nil
+		}
+		if inc.elim.err != nil {
+			return inc.freshFallback(imported, inc.elim.err)
+		}
+		pure = append(pure, p)
+	}
+	// New Ackermann consistency lemmas go to the pending queue first,
+	// so a budget failure between emission and assertion cannot lose
+	// them.
+	lemmas, lemErr := inc.elim.consistencyDelta()
+	inc.pending = append(inc.pending, lemmas...)
+	if lemErr == errBudget {
+		return ResultUnknown, nil, nil
+	}
+
+	// Stage 2a: assert pending lemmas permanently (they are valid
+	// consequences of the array axioms, independent of any query).
+	for len(inc.pending) > 0 {
+		l, ok := inc.bl.boolLit(inc.pending[0])
+		if !ok {
+			if inc.bl.err == errBudget {
+				return ResultUnknown, nil, nil
+			}
+			return inc.freshFallback(imported, inc.bl.err)
+		}
+		if !inc.core.addClause([]lit{l}) {
+			// A valid lemma can never make the database unsat; if it
+			// did, the cache is inconsistent.
+			return inc.freshFallback(imported, fmt.Errorf("solver: lemma contradicts session database"))
+		}
+		inc.pending = inc.pending[1:]
+		inc.stats.LemmasAsserted++
+	}
+
+	// Stage 2b: lower the query's constraints, reusing cached CNF, and
+	// collect their literals as CDCL assumptions.
+	assumps := make([]lit, 0, len(pure))
+	for _, p := range pure {
+		if p.IsTrue() {
+			continue
+		}
+		if p.IsFalse() {
+			return ResultUnsat, nil, nil
+		}
+		inc.stats.ConstraintsSeen++
+		if inc.bl.cached(p) {
+			inc.stats.ConstraintsReused++
+		} else {
+			inc.stats.ConstraintsBlasted++
+		}
+		l, ok := inc.bl.boolLit(p)
+		if !ok {
+			if inc.bl.err == errBudget {
+				return ResultUnknown, nil, nil
+			}
+			return inc.freshFallback(imported, inc.bl.err)
+		}
+		assumps = append(assumps, l)
+	}
+
+	// Stage 3: CDCL under assumptions, learnt clauses persisting.
+	switch inc.core.solveAssume(assumps) {
+	case satUnsat:
+		return ResultUnsat, nil, nil
+	case satUnknown:
+		return ResultUnknown, nil, nil
+	}
+
+	// Stage 4: model extraction and validation. The model covers every
+	// variable the session ever saw; stale entries are harmless (the
+	// caller looks names up) and current-query entries are checked
+	// below.
+	asn, err := extractModel(inc.bl, inc.elim)
+	if err != nil {
+		return inc.freshFallback(imported, err)
+	}
+	if inc.opts.Validate {
+		ok, err := asn.Satisfies(imported)
+		if err != nil || !ok {
+			// A cached assumption was invalidated (or the import memo
+			// collided): answer this query from scratch and rebuild
+			// the session before the next one.
+			return inc.freshFallback(imported, err)
+		}
+	}
+	return ResultSat, asn, nil
+}
+
+// freshFallback answers the query with a from-scratch Solver over the
+// session builder and poisons the session so the next query rebuilds
+// it. It is the safety net for invalidated cache state; the
+// differential property tests exist to show it (all but) never fires.
+func (inc *Incremental) freshFallback(imported []*expr.Expr, cause error) (Result, *expr.Assignment, error) {
+	inc.stats.FreshFallbacks++
+	inc.poisoned = true
+	_ = cause // retained for debuggability; the fresh verdict stands on its own
+	fresh := New(inc.b, inc.opts)
+	res, asn, err := fresh.Solve(imported)
+	// Attribute the fresh solve's work to this query.
+	fs := fresh.LastStats()
+	inc.last.Steps += fs.Steps
+	inc.stats.Steps += fs.Steps
+	return res, asn, err
+}

@@ -1,0 +1,280 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"execrecon/internal/expr"
+)
+
+// TestBudgetDeadlineStarvation is the regression test for the
+// deadline-starvation bug: the old implementation consulted the
+// wall clock only every 4096 steps, so a workload whose individual
+// steps are expensive (few but heavy spends) could overrun the
+// deadline by an unbounded factor — and a budget created with an
+// already-expired deadline would happily grant thousands of steps.
+func TestBudgetDeadlineStarvation(t *testing.T) {
+	// An already-expired deadline must deny the very first spend.
+	b := &Budget{Deadline: time.Now().Add(-time.Second)}
+	if b.spend(1) {
+		t.Fatal("expired deadline granted the first spend")
+	}
+	if !b.Exhausted() {
+		t.Error("budget not marked exhausted")
+	}
+
+	// A deadline expiring mid-run must be observed within the check
+	// cadence even when every spend is tiny.
+	b = &Budget{Deadline: time.Now().Add(2 * time.Millisecond)}
+	granted := 0
+	deadline := time.Now().Add(2 * time.Second) // test watchdog
+	for b.spend(1) {
+		granted++
+		if time.Now().After(deadline) {
+			t.Fatal("budget never observed the expired deadline")
+		}
+	}
+	// After expiry at most one check-cadence worth of steps may slip
+	// through before the clock is consulted again.
+	t.Logf("granted %d tiny spends before deadline stop", granted)
+
+	// Steps-only budgets are unaffected by the deadline machinery.
+	b = NewBudget(10)
+	for i := 0; i < 10; i++ {
+		if !b.spend(1) {
+			t.Fatalf("spend %d denied under budget", i)
+		}
+	}
+	if b.spend(1) {
+		t.Error("spend beyond MaxSteps granted")
+	}
+}
+
+// TestStatsPopulatedOnEarlyExit is the regression test for the Stats
+// under-report bug: budget-exhausted ResultUnknown returns — exactly
+// the solves ER's stall detection keys off — used to report zero
+// steps, elapsed time, and SAT counters because stats were recorded
+// only on the happy path.
+func TestStatsPopulatedOnEarlyExit(t *testing.T) {
+	b := expr.NewBuilder()
+	x := b.Var("x", 32)
+	y := b.Var("y", 32)
+	hard := []*expr.Expr{
+		b.Eq(b.Mul(x, y), b.Const(0xdeadbeef, 32)),
+		b.Ult(b.Const(2, 32), x),
+		b.Ult(b.Const(2, 32), y),
+	}
+	s := New(b, Options{MaxSteps: 50}) // far too little to finish
+	res, _, err := s.Solve(hard)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if res != ResultUnknown {
+		t.Fatalf("result %v, want unknown under a 50-step budget", res)
+	}
+	st := s.LastStats()
+	if st.Steps == 0 {
+		t.Error("Steps not populated on budget-exhausted exit")
+	}
+	if st.Elapsed == 0 {
+		t.Error("Elapsed not populated on budget-exhausted exit")
+	}
+}
+
+// TestIncrementalReuseCounters checks the session's cache accounting:
+// a repeated query must answer from cached CNF (reuse, fast-sat) and
+// a growing query must only blast its new constraints.
+func TestIncrementalReuseCounters(t *testing.T) {
+	cb := expr.NewBuilder() // caller-side builder, distinct from the session's
+	x := cb.Var("x", 32)
+	y := cb.Var("y", 32)
+	c1 := cb.Eq(cb.Add(x, y), cb.Const(100, 32))
+	c2 := cb.Ult(x, cb.Const(30, 32))
+	c3 := cb.Ult(cb.Const(25, 32), x)
+
+	inc := NewIncremental(Options{Validate: true})
+	res, asn, err := inc.Solve([]*expr.Expr{c1, c2})
+	if err != nil || res != ResultSat {
+		t.Fatalf("q1: res=%v err=%v", res, err)
+	}
+	if asn.Vars["x"]+asn.Vars["y"] != 100 {
+		t.Fatalf("q1 model: %v", asn.Vars)
+	}
+	st := inc.Stats()
+	if st.ConstraintsBlasted == 0 || st.ConstraintsReused != 0 {
+		t.Fatalf("q1 counters: %+v", st)
+	}
+
+	// Same query again: full reuse, answered by the model fast path.
+	res, _, err = inc.Solve([]*expr.Expr{c1, c2})
+	if err != nil || res != ResultSat {
+		t.Fatalf("q2: res=%v err=%v", res, err)
+	}
+	st = inc.Stats()
+	if st.ConstraintsReused < 2 {
+		t.Errorf("q2: reused=%d, want >=2", st.ConstraintsReused)
+	}
+	if st.FastSats == 0 {
+		t.Errorf("q2: repeated sat query did not take the model-extension fast path")
+	}
+
+	// Grown query: only the new constraint is blasted.
+	blastedBefore := st.ConstraintsBlasted
+	res, asn, err = inc.Solve([]*expr.Expr{c1, c2, c3})
+	if err != nil || res != ResultSat {
+		t.Fatalf("q3: res=%v err=%v", res, err)
+	}
+	xv, yv := asn.Vars["x"], asn.Vars["y"]
+	if xv+yv != 100 || xv >= 30 || xv <= 25 {
+		t.Fatalf("q3 model x=%d y=%d", xv, yv)
+	}
+	st = inc.Stats()
+	if st.ConstraintsBlasted != blastedBefore+1 {
+		t.Errorf("q3: blasted %d -> %d, want exactly one new", blastedBefore, st.ConstraintsBlasted)
+	}
+
+	// Shrunk/contradicted query: cached assumptions simply go unassumed.
+	res, _, err = inc.Solve([]*expr.Expr{c2, cb.Ult(cb.Const(40, 32), x)})
+	if err != nil || res != ResultUnsat {
+		t.Fatalf("q4: res=%v err=%v, want unsat", res, err)
+	}
+	st = inc.Stats()
+	if st.FreshFallbacks != 0 {
+		t.Errorf("fresh fallbacks fired: %+v", st)
+	}
+	if st.Solves != 4 || st.Sat != 3 || st.Unsat != 1 {
+		t.Errorf("verdict counters: %+v", st)
+	}
+}
+
+// TestIncrementalSessionReset checks the MaxSessionNodes bound: a
+// session that outgrows it rebuilds (dropping caches) but keeps
+// cumulative counters and stays correct.
+func TestIncrementalSessionReset(t *testing.T) {
+	cb := expr.NewBuilder()
+	x := cb.Var("x", 32)
+	inc := NewIncremental(Options{Validate: true, MaxSessionNodes: 8})
+	for i := 0; i < 8; i++ {
+		// x + k == 2k+5 ⇒ x = k+5: satisfiable, with fresh nodes per query.
+		k := uint64(i)
+		c := cb.Eq(cb.Add(x, cb.Const(k, 32)), cb.Const(2*k+5, 32))
+		res, asn, err := inc.Solve([]*expr.Expr{c})
+		if err != nil || res != ResultSat {
+			t.Fatalf("q%d: res=%v err=%v", i, res, err)
+		}
+		if asn.Vars["x"] != k+5 {
+			t.Fatalf("q%d: x=%d want %d", i, asn.Vars["x"], k+5)
+		}
+	}
+	st := inc.Stats()
+	if st.Resets == 0 {
+		t.Errorf("8-node session never reset: %+v", st)
+	}
+	if st.Solves != 8 || st.Sat != 8 {
+		t.Errorf("counters lost across resets: %+v", st)
+	}
+}
+
+// TestIncrementalDifferential is the differential property test: a
+// randomized sequence of queries — additions, removals, and outright
+// contradictions, over bitvector and array constraints — must produce
+// exactly the verdicts of a fresh from-scratch Solve, and every sat
+// model must independently satisfy the query. Runs under -race in CI.
+func TestIncrementalDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 12; trial++ {
+		cb := expr.NewBuilder()
+		const w = 12
+		vars := []*expr.Expr{cb.Var("a", w), cb.Var("b", w), cb.Var("c", w)}
+		arr := cb.ArrayVar("m", w, w)
+		witness := expr.NewAssignment()
+		for _, v := range vars {
+			witness.Vars[v.Name] = uint64(rng.Intn(1 << w))
+		}
+
+		var gen func(depth int) *expr.Expr
+		gen = func(depth int) *expr.Expr {
+			if depth == 0 || rng.Intn(3) == 0 {
+				if rng.Intn(2) == 0 {
+					return vars[rng.Intn(len(vars))]
+				}
+				return cb.Const(uint64(rng.Intn(1<<w)), w)
+			}
+			x, y := gen(depth-1), gen(depth-1)
+			switch rng.Intn(8) {
+			case 0:
+				return cb.Add(x, y)
+			case 1:
+				return cb.Sub(x, y)
+			case 2:
+				return cb.And(x, y)
+			case 3:
+				return cb.Or(x, y)
+			case 4:
+				return cb.Xor(x, y)
+			case 5:
+				return cb.Ite(cb.Ult(x, y), x, y)
+			case 6:
+				return cb.Mul(x, cb.Const(uint64(rng.Intn(8)), w))
+			default:
+				return cb.Not(x)
+			}
+		}
+
+		// Constraint pool: satisfiable-by-construction bitvector
+		// equalities, array reads at constant and symbolic indices
+		// (exercising store-chain lowering and Ackermannization), and a
+		// pair of mutually contradictory constraints.
+		var pool []*expr.Expr
+		for k := 0; k < 5; k++ {
+			e := gen(3)
+			pool = append(pool, cb.Eq(e, cb.Const(witness.MustEval(e), w)))
+		}
+		st := cb.Store(cb.Store(arr, cb.Const(3, w), vars[0]), vars[1], cb.Const(7, w))
+		pool = append(pool,
+			cb.Eq(cb.Select(st, vars[1]), cb.Const(7, w)),
+			cb.Ule(cb.Select(arr, cb.Const(9, w)), cb.Const(1<<w-1, w)),
+			cb.Eq(cb.Select(arr, vars[2]), cb.Select(arr, vars[2])),
+		)
+		contr := []*expr.Expr{
+			cb.Eq(vars[0], cb.Const(witness.Vars["a"], w)),
+			cb.Eq(vars[0], cb.Const(witness.Vars["a"]^1, w)),
+		}
+
+		inc := NewIncremental(Options{Validate: true})
+		for q := 0; q < 14; q++ {
+			var cs []*expr.Expr
+			for _, c := range pool {
+				if rng.Intn(2) == 0 {
+					cs = append(cs, c)
+				}
+			}
+			if rng.Intn(4) == 0 { // sometimes force unsat
+				cs = append(cs, contr...)
+			}
+
+			fresh := New(cb, DefaultOptions())
+			fres, _, ferr := fresh.Solve(cs)
+			if ferr != nil {
+				t.Fatalf("trial %d q%d: fresh: %v", trial, q, ferr)
+			}
+			ires, iasn, ierr := inc.Solve(cs)
+			if ierr != nil {
+				t.Fatalf("trial %d q%d: incremental: %v", trial, q, ierr)
+			}
+			if fres != ires {
+				t.Fatalf("trial %d q%d: verdicts diverge: fresh=%v incremental=%v", trial, q, fres, ires)
+			}
+			if ires == ResultSat {
+				ok, err := iasn.Satisfies(cs)
+				if err != nil || !ok {
+					t.Fatalf("trial %d q%d: incremental model invalid (err %v)", trial, q, err)
+				}
+			}
+		}
+		if st := inc.Stats(); st.FreshFallbacks != 0 {
+			t.Errorf("trial %d: session needed %d fresh fallbacks", trial, st.FreshFallbacks)
+		}
+	}
+}

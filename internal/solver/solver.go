@@ -43,7 +43,27 @@ type Options struct {
 	// model and fails loudly on mismatch. Cheap; on by default via
 	// DefaultOptions.
 	Validate bool
+	// MaxSessionNodes bounds an Incremental session's interned
+	// expression nodes before it resets its caches (0 means
+	// DefaultMaxSessionNodes). Ignored by the one-shot Solver.
+	MaxSessionNodes int
 }
+
+// Backend is the query interface shared by the one-shot Solver and
+// the persistent Incremental session, letting callers (the symbolic
+// executor, the ER pipeline) swap fresh-per-query solving for
+// session-cached solving without caring which they hold.
+type Backend interface {
+	// Solve decides the conjunction of cs.
+	Solve(cs []*expr.Expr) (Result, *expr.Assignment, error)
+	// LastStats returns statistics for the most recent Solve call.
+	LastStats() Stats
+}
+
+var (
+	_ Backend = (*Solver)(nil)
+	_ Backend = (*Incremental)(nil)
+)
 
 // DefaultOptions returns options with validation enabled and no
 // limits.
@@ -84,11 +104,24 @@ func (s *Solver) Solve(cs []*expr.Expr) (Result, *expr.Assignment, error) {
 	if s.opts.Timeout > 0 {
 		budget.Deadline = start.Add(s.opts.Timeout)
 	}
+	s.last = Stats{}
+	// Stats are populated on *every* exit path via defer — including
+	// budget-exhausted ResultUnknown returns, which are exactly the
+	// solves ER's stall detection keys off. (They used to be recorded
+	// only on the happy path, so stalled queries reported zero
+	// SATVars/SATClauses and CDCL counters.)
+	var core *sat
 	defer func() {
 		s.last.Steps = budget.Used()
 		s.last.Elapsed = time.Since(start)
+		if core != nil {
+			s.last.SATVars = core.numVars
+			s.last.SATClauses = len(core.clauses)
+			s.last.Propagations = core.propagations
+			s.last.Conflicts = core.conflicts
+			s.last.Decisions = core.decisions
+		}
 	}()
-	s.last = Stats{}
 
 	// Fast paths on trivially decided constraints.
 	remaining := make([]*expr.Expr, 0, len(cs))
@@ -119,7 +152,7 @@ func (s *Solver) Solve(cs []*expr.Expr) (Result, *expr.Assignment, error) {
 	}
 
 	// Stage 2: bit blasting.
-	core := newSAT(budget)
+	core = newSAT(budget)
 	bl := newBlaster(core, budget)
 	unsatEarly := false
 	for _, c := range pure {
@@ -141,18 +174,12 @@ func (s *Solver) Solve(cs []*expr.Expr) (Result, *expr.Assignment, error) {
 	if bl.err != nil {
 		return ResultUnknown, nil, bl.err
 	}
-	s.last.SATVars = core.numVars
-	s.last.SATClauses = len(core.clauses)
 	if unsatEarly {
 		return ResultUnsat, nil, nil
 	}
 
 	// Stage 3: CDCL.
-	res := core.solve()
-	s.last.Propagations = core.propagations
-	s.last.Conflicts = core.conflicts
-	s.last.Decisions = core.decisions
-	switch res {
+	switch core.solve() {
 	case satUnsat:
 		return ResultUnsat, nil, nil
 	case satUnknown:
@@ -160,38 +187,9 @@ func (s *Solver) Solve(cs []*expr.Expr) (Result, *expr.Assignment, error) {
 	}
 
 	// Stage 4: model extraction.
-	asn := expr.NewAssignment()
-	for name := range bl.vars {
-		if v, ok := bl.modelVar(name); ok {
-			asn.Vars[name] = v
-		}
-	}
-	// Rebuild array models from Ackermann read terms. Read-term
-	// index expressions are pure bitvector expressions over model
-	// variables, so they evaluate directly.
-	for name, rs := range elim.reads {
-		av := asn.Arrays[name]
-		if av == nil {
-			av = &expr.ArrayValue{Elems: make(map[uint64]uint64)}
-			asn.Arrays[name] = av
-		}
-		for _, r := range rs {
-			iv, err := asn.Eval(r.idx)
-			if err != nil {
-				return ResultUnknown, nil, err
-			}
-			vv, err := asn.Eval(r.v)
-			if err != nil {
-				return ResultUnknown, nil, err
-			}
-			av.Elems[iv] = vv
-		}
-	}
-	// Drop internal read variables from the visible model.
-	for name := range asn.Vars {
-		if strings.HasPrefix(name, "$rd") {
-			delete(asn.Vars, name)
-		}
+	asn, err := extractModel(bl, elim)
+	if err != nil {
+		return ResultUnknown, nil, err
 	}
 	if s.opts.Validate {
 		ok, err := asn.Satisfies(remaining)
@@ -203,6 +201,45 @@ func (s *Solver) Solve(cs []*expr.Expr) (Result, *expr.Assignment, error) {
 		}
 	}
 	return ResultSat, asn, nil
+}
+
+// extractModel builds the satisfying assignment from the SAT model:
+// named bitvector variables read back from their bit literals, and
+// array models rebuilt from the Ackermann read terms (read-term index
+// expressions are pure bitvector expressions over model variables, so
+// they evaluate directly). Internal $rd read variables are dropped
+// from the visible model.
+func extractModel(bl *blaster, elim *arrayElim) (*expr.Assignment, error) {
+	asn := expr.NewAssignment()
+	for name := range bl.vars {
+		if v, ok := bl.modelVar(name); ok {
+			asn.Vars[name] = v
+		}
+	}
+	for name, rs := range elim.reads {
+		av := asn.Arrays[name]
+		if av == nil {
+			av = &expr.ArrayValue{Elems: make(map[uint64]uint64)}
+			asn.Arrays[name] = av
+		}
+		for _, r := range rs {
+			iv, err := asn.Eval(r.idx)
+			if err != nil {
+				return nil, err
+			}
+			vv, err := asn.Eval(r.v)
+			if err != nil {
+				return nil, err
+			}
+			av.Elems[iv] = vv
+		}
+	}
+	for name := range asn.Vars {
+		if strings.HasPrefix(name, "$rd") {
+			delete(asn.Vars, name)
+		}
+	}
+	return asn, nil
 }
 
 // MayBeTrue reports whether cond can be true together with the path

@@ -68,6 +68,11 @@ type Options struct {
 	// ProgressEvery records a progress sample each N instructions
 	// (0 disables); used by the Fig 5 experiment.
 	ProgressEvery int64
+	// Solver optionally supplies a persistent solver session (an
+	// *solver.Incremental shared across a pipeline's iterations). When
+	// nil the engine creates a fresh one-shot solver over its own
+	// builder, exactly as before.
+	Solver solver.Backend
 }
 
 // SiteKey identifies an instruction (a potential recording site).
@@ -112,9 +117,13 @@ type RunStats struct {
 	Instrs        int64
 	SolverQueries int64
 	SolverSteps   int64
-	Elapsed       time.Duration
-	PCSize        int
-	GraphNodes    int
+	// SolverTime is the cumulative wall time spent inside solver
+	// queries — the quantity the solvecache experiment compares
+	// between fresh-per-query and incremental-session solving.
+	SolverTime time.Duration
+	Elapsed    time.Duration
+	PCSize     int
+	GraphNodes int
 }
 
 // Result is the outcome of a shepherded symbolic execution.
@@ -161,7 +170,7 @@ type Engine struct {
 	opts Options
 
 	b   *expr.Builder
-	sol *solver.Solver
+	sol solver.Backend
 
 	threads []*sthread
 	objs    []*sobj
@@ -178,6 +187,7 @@ type Engine struct {
 	instrs    int64
 	queries   int64
 	qsteps    int64
+	qtime     time.Duration
 	start     time.Time
 	progress  []ProgressPoint
 	stallExpr *expr.Expr
@@ -242,15 +252,19 @@ func New(mod *ir.Module, trace *pt.Trace, failure *vm.Failure, opts Options) *En
 		opts.MaxInstrs = 100_000_000
 	}
 	b := expr.NewBuilder()
-	e := &Engine{
-		mod:  mod,
-		opts: opts,
-		b:    b,
-		sol: solver.New(b, solver.Options{
+	sol := opts.Solver
+	if sol == nil {
+		sol = solver.New(b, solver.Options{
 			MaxSteps: opts.QueryBudget,
 			Timeout:  opts.QueryTimeout,
 			Validate: false,
-		}),
+		})
+	}
+	e := &Engine{
+		mod:       mod,
+		opts:      opts,
+		b:         b,
+		sol:       sol,
 		mus:       make(map[uint64]int),
 		cursor:    pt.NewCursor(trace),
 		failure:   failure,
@@ -306,6 +320,7 @@ func (e *Engine) Run(entry string) *Result {
 		Instrs:        e.instrs,
 		SolverQueries: e.queries,
 		SolverSteps:   e.qsteps,
+		SolverTime:    e.qtime,
 		Elapsed:       time.Since(e.start),
 		PCSize:        len(e.pc),
 		GraphNodes:    e.b.NumNodes(),
@@ -335,7 +350,9 @@ func (e *Engine) solve(extra ...*expr.Expr) (solver.Result, *expr.Assignment, er
 		cs = append(append([]*expr.Expr{}, e.pc...), extra...)
 	}
 	r, m, err := e.sol.Solve(cs)
-	e.qsteps += e.sol.LastStats().Steps
+	st := e.sol.LastStats()
+	e.qsteps += st.Steps
+	e.qtime += st.Elapsed
 	return r, m, err
 }
 
