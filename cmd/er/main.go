@@ -3,35 +3,67 @@
 //
 // Usage:
 //
-//	er run prog.minc         tag=1,2,3 tag2=4 ... run once, report outcome
-//	er reproduce prog.minc   tag=1,2,3 ...        ER loop on the failing input
-//	er constraints prog.minc tag=1,2,3 ...        dump the failing run's path
-//	                                              constraint as SMT-LIB 2
+//	er [flags] run prog.minc         tag=1,2,3 tag2=4 ... run once, report outcome
+//	er [flags] reproduce prog.minc   tag=1,2,3 ...        ER loop on the failing input
+//	er [flags] constraints prog.minc tag=1,2,3 ...        dump the failing run's path
+//	                                                      constraint as SMT-LIB 2
 //
 // Input streams are given as tag=v1,v2,... arguments.
+//
+// Flags:
+//
+//	-store <dir>   use a persistent trace archive (internal/tracestore)
+//	               rooted at dir. `run` archives the traced run when it
+//	               fails; `reproduce` routes every traced reoccurrence
+//	               through the archive (append, then decode back off the
+//	               segment log).
+//	-replay-store  with -store, `reproduce` performs no production runs
+//	               at all: reoccurrences are replayed from the archived
+//	               records of the failure's signature, in sequence
+//	               order. The archive must already hold the failure
+//	               (e.g. from earlier `er run -store` invocations).
+//	-v             log ER loop progress to stderr.
+//
+// All errors — including a failure that cannot be reproduced and an
+// archive that runs dry under -replay-store — exit non-zero.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"execrecon"
+	"execrecon/internal/core"
 	"execrecon/internal/expr"
+	"execrecon/internal/pt"
 	"execrecon/internal/symex"
+	"execrecon/internal/tracestore"
+	"execrecon/internal/vm"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: er run|reproduce|constraints <prog.minc> [tag=v1,v2,...]...")
+	fmt.Fprintln(os.Stderr, "usage: er [-store dir] [-replay-store] [-v] run|reproduce|constraints <prog.minc> [tag=v1,v2,...]...")
+	flag.PrintDefaults()
 	os.Exit(2)
 }
 
 func main() {
-	if len(os.Args) < 3 {
+	storeDir := flag.String("store", "", "archive traces in a persistent store rooted at this directory")
+	replayStore := flag.Bool("replay-store", false, "reproduce from archived records only (requires -store)")
+	verbose := flag.Bool("v", false, "log ER loop progress to stderr")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 2 {
 		usage()
 	}
-	cmd, path := os.Args[1], os.Args[2]
+	if *replayStore && *storeDir == "" {
+		fatal(fmt.Errorf("-replay-store requires -store"))
+	}
+	cmd, path := flag.Arg(0), flag.Arg(1)
 	src, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -41,7 +73,7 @@ func main() {
 		fatal(err)
 	}
 	w := er.NewWorkload()
-	for _, arg := range os.Args[3:] {
+	for _, arg := range flag.Args()[2:] {
 		tag, vals, ok := strings.Cut(arg, "=")
 		if !ok {
 			fatal(fmt.Errorf("bad input argument %q (want tag=v1,v2,...)", arg))
@@ -55,20 +87,62 @@ func main() {
 		}
 	}
 
+	var store *tracestore.Store
+	if *storeDir != "" {
+		store, err = tracestore.Open(*storeDir, tracestore.Options{})
+		if err != nil {
+			fatal(fmt.Errorf("open trace store: %w", err))
+		}
+		defer store.Close()
+	}
+	var log *os.File
+	if *verbose {
+		log = os.Stderr
+	}
+	app := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+
 	switch cmd {
 	case "run":
-		res := er.Run(mod, w, 1)
-		fmt.Printf("instructions: %d\n", res.Stats.Instrs)
-		if len(res.Output) > 0 {
-			fmt.Printf("output: %v\n", res.Output)
+		if store == nil {
+			res := er.Run(mod, w, 1)
+			reportRun(res)
+			return
 		}
+		// Traced run: archive the ring when the run fails, exactly as a
+		// production machine would ship it.
+		ring := pt.NewRing(pt.DefaultRingSize)
+		enc := pt.NewEncoder(ring)
+		res := vm.New(mod, vm.Config{Input: w, Seed: 1, Tracer: enc}).Run("main")
+		enc.Finish()
 		if res.Failure != nil {
-			fmt.Printf("FAILURE: %v\n", res.Failure)
-			os.Exit(1)
+			seq, err := store.AppendRing(res.Failure, tracestore.Meta{
+				App: app, Seed: 1, Instrs: res.Stats.Instrs,
+			}, ring)
+			if err != nil {
+				fatal(fmt.Errorf("archive trace: %w", err))
+			}
+			fmt.Printf("archived: key=%#x seq=%d\n", tracestore.KeyOf(res.Failure), seq)
 		}
-		fmt.Println("exited cleanly")
+		reportRun(res)
 	case "reproduce":
-		rep, err := er.Reproduce(mod, w, 1, er.Options{Log: os.Stderr})
+		var rep *er.Report
+		switch {
+		case store == nil:
+			rep, err = er.Reproduce(mod, w, 1, er.Options{Log: log})
+		case *replayStore:
+			key, kerr := storeKeyFor(store, mod, w)
+			if kerr != nil {
+				fatal(kerr)
+			}
+			rep, err = er.ReproduceFrom(mod, &tracestore.ReplaySource{Store: store, Key: key},
+				er.Options{Log: log})
+		default:
+			rep, err = er.ReproduceFrom(mod, &tracestore.Source{
+				Store: store,
+				Gen:   &core.FixedWorkload{Workload: w, Seed: 1},
+				App:   app,
+			}, er.Options{Log: log})
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -101,6 +175,43 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// reportRun prints a run's outcome, exiting 1 on failure.
+func reportRun(res *er.RunResult) {
+	fmt.Printf("instructions: %d\n", res.Stats.Instrs)
+	if len(res.Output) > 0 {
+		fmt.Printf("output: %v\n", res.Output)
+	}
+	if res.Failure != nil {
+		fmt.Printf("FAILURE: %v\n", res.Failure)
+		os.Exit(1)
+	}
+	fmt.Println("exited cleanly")
+}
+
+// storeKeyFor picks the archived signature to replay. When the archive
+// holds exactly one signature that is unambiguous; otherwise the given
+// workload is executed once (locally, untraced — not a production run)
+// to learn which failure it triggers.
+func storeKeyFor(store *tracestore.Store, mod *er.Module, w *er.Workload) (uint64, error) {
+	keys := store.Keys()
+	if len(keys) == 0 {
+		return 0, fmt.Errorf("trace store at %s holds no archived failures", store.Dir())
+	}
+	if len(keys) == 1 {
+		return keys[0], nil
+	}
+	res := er.Run(mod, w, 1)
+	if res.Failure == nil {
+		return 0, fmt.Errorf("store holds %d signatures and the given input does not fail; cannot pick one to replay", len(keys))
+	}
+	key := tracestore.KeyOf(res.Failure)
+	if store.Sig(key) == nil {
+		return 0, fmt.Errorf("failure %v (key %#x) has no archived records among the store's %d signatures",
+			res.Failure, key, len(keys))
+	}
+	return key, nil
 }
 
 func fatal(err error) {

@@ -18,6 +18,10 @@
 //	solvecache  incremental solver-session ablation: fresh-per-query vs
 //	          one persistent session per pipeline (cumulative solver
 //	          time, constraint reuse, verdict parity)
+//	tracestore  persistent trace archive: per-app raw-vs-stored
+//	          compression over archived reoccurrences, ingest
+//	          throughput, and verdict parity when every trace is read
+//	          back through the store's streaming reader
 //	all       everything above
 package main
 
@@ -35,7 +39,7 @@ import (
 var experiments = []string{
 	"fig1", "table1", "offline", "fig5", "fig6", "random",
 	"accuracy", "rept", "mimic", "ablation", "mt", "fleet",
-	"solvecache",
+	"solvecache", "tracestore",
 }
 
 func validExp(name string) bool {
@@ -254,6 +258,28 @@ func main() {
 			ok = false
 		} else {
 			bench.RenderSolveCache(out, r)
+		}
+		fmt.Fprintln(out)
+	}
+	if run("tracestore") {
+		fmt.Fprintln(out, "== trace archive: compression, ingest throughput, verdict parity ==")
+		opts := bench.TracestoreOptions{}
+		if *app != "" {
+			opts.Only = []string{*app}
+		}
+		if log != nil {
+			opts.Log = log
+		}
+		rows, err := bench.RunTracestore(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracestore:", err)
+			ok = false
+		} else {
+			bench.RenderTracestore(out, rows)
+			if !bench.TracestoreParity(rows) {
+				fmt.Fprintln(os.Stderr, "tracestore: verdict parity violated (see table)")
+				ok = false
+			}
 		}
 		fmt.Fprintln(out)
 	}

@@ -177,14 +177,11 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 		p.cfg.logf("untraced occurrence %d observed; tracing still deferred", p.rep.Occurrences)
 		return false, nil
 	}
-	if occ.Trace == nil {
+	if !occ.traced() {
 		return p.fail("core: traced occurrence expected but trace missing (occurrence %d)", p.rep.Occurrences)
 	}
 
-	it := Iteration{
-		Occurrence:  p.rep.Occurrences,
-		TraceEvents: len(occ.Trace.Events),
-	}
+	it := Iteration{Occurrence: p.rep.Occurrences}
 
 	// Offline phase: shepherded symbolic execution. With a persistent
 	// session the engine's queries reuse all Tseitin/Ackermann/learned
@@ -193,8 +190,21 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 	if sxOpts.Solver == nil && p.session != nil {
 		sxOpts.Solver = p.session
 	}
-	eng := symex.New(p.deployed, occ.Trace, occ.Result.Failure, sxOpts)
+	var src pt.EventSource
+	if occ.Trace != nil {
+		it.TraceEvents = len(occ.Trace.Events)
+		src = pt.NewCursor(occ.Trace)
+	} else {
+		// Streaming occurrence (trace-archive read path): the source
+		// decodes incrementally while the executor shepherds, so the
+		// event count is only known after the run.
+		src = occ.Events
+	}
+	eng := symex.NewFromEvents(p.deployed, src, occ.Result.Failure, sxOpts)
 	sres := eng.Run(p.cfg.Entry)
+	if occ.Trace == nil {
+		it.TraceEvents = src.Pos()
+	}
 	it.Status = sres.Status
 	it.StallReason = sres.StallReason
 	it.SymexTime = sres.Stats.Elapsed

@@ -14,11 +14,23 @@ import (
 // seed is what the loop replays when verifying a generated test case,
 // so that multithreaded failures verify under the interleaving that
 // produced them.
+//
+// Trace and Events are alternative trace carriers. Trace is the
+// in-memory form (every event materialized). Events is a streaming
+// source — e.g. a tracestore reader that delta-reconstructs and
+// decodes an archived blob incrementally — consumed once by the
+// pipeline's symbolic executor without ever holding the full event
+// slice. When both are set, Trace wins.
 type Occurrence struct {
 	Trace  *pt.Trace
+	Events pt.EventSource
 	Result *vm.Result
 	Seed   int64
 }
+
+// traced reports whether the occurrence carries trace data in either
+// form.
+func (o *Occurrence) traced() bool { return o.Trace != nil || o.Events != nil }
 
 // SourceRequest describes what the loop needs next from a
 // reoccurrence source: a failure matching Signature (nil until the

@@ -14,6 +14,7 @@ import (
 	"execrecon/internal/prod"
 	"execrecon/internal/pt"
 	"execrecon/internal/symex"
+	"execrecon/internal/tracestore"
 	"execrecon/internal/vm"
 )
 
@@ -82,6 +83,16 @@ type Options struct {
 	// nodes before it resets (0 = solver default); only meaningful
 	// with SolverSessions.
 	SolverMaxSessionNodes int
+	// Store, when set, is the persistent trace archive: triage
+	// appends every ingested reoccurrence to it (delta-compressed
+	// against the bucket's reference trace), occurrences that overflow
+	// a bucket's in-RAM pending queue spill to it instead of being
+	// dropped (the pipeline replays them from disk when the live queue
+	// runs dry), and buckets retire their archive key on resolution so
+	// compaction can reclaim interior records. Nil disables archival:
+	// hot traces live only in RAM and overflow drops, the previous
+	// behavior.
+	Store *tracestore.Store
 	// Log receives progress lines when set.
 	Log io.Writer
 }
@@ -274,7 +285,21 @@ func (f *Fleet) drainShard(s int) {
 			return
 		case msg := <-sh:
 			b, isNew := f.table.Intern(msg.Failure, msg.App)
-			b.offer(msg)
+			var seq uint64
+			archived := false
+			if st := f.opts.Store; st != nil {
+				var err error
+				seq, err = st.AppendRing(msg.Failure, tracestore.Meta{
+					App: msg.App, Machine: msg.Machine, Version: msg.Version,
+					Seed: msg.Seed, Instrs: msg.Instrs,
+				}, msg.Ring)
+				if err != nil {
+					f.logf("fleet: bucket %d (%s): archive append: %v", b.ID, b.App, err)
+				} else {
+					archived = true
+				}
+			}
+			b.offerOrSpill(msg, archived, seq)
 			if isNew {
 				f.logf("fleet: new failure bucket %d (%s): %v", b.ID, b.App, b.Sig)
 				select {
@@ -334,42 +359,49 @@ func (f *Fleet) runBucket(b *Bucket) {
 		return
 	}
 	for !p.Done() {
+		var msg *prod.TraceMsg
 		select {
 		case <-f.ctx.Done():
 			b.state.Store(int32(BucketFailed))
 			f.bucketDone(b)
 			return
-		case msg := <-b.pending:
-			if msg.Version != p.Version() {
-				// Recorded on an out-of-date deployment (pre-rollout
-				// binary still reporting); the trace lacks the
-				// recorded values this iteration needs.
-				b.staleDrops.Add(1)
+		case msg = <-b.pending:
+		default:
+			// The live queue is dry: replay a spilled occurrence from
+			// the archive, if any survived an earlier overflow.
+			if occ, ok := f.replaySpilled(b, p.Version()); ok {
+				f.feedOccurrence(b, g, p, occ)
 				continue
 			}
-			occ, err := occurrenceFrom(msg)
-			if err != nil {
-				b.badDrops.Add(1)
-				f.logf("fleet: bucket %d (%s): dropping blob: %v", b.ID, b.App, err)
-				continue
-			}
-			before := p.Version()
-			if _, err := p.Feed(occ); err != nil {
-				f.logf("fleet: bucket %d (%s): pipeline: %v", b.ID, b.App, err)
-			}
-			b.iterations.Store(int32(len(p.Report().Iterations)))
-			b.recordSolverStats(p)
-			if p.Version() != before && !p.Done() {
-				// Key data values selected: roll the instrumented
-				// module out to this app's machines.
-				dep := prod.Deployment{Module: p.Deployed(), Version: p.Version()}
-				for _, m := range g.machines {
-					m.Deploy(dep)
-				}
-				f.logf("fleet: bucket %d (%s): rolled out instrumented deployment v%d",
-					b.ID, b.App, p.Version())
+			select {
+			case <-f.ctx.Done():
+				b.state.Store(int32(BucketFailed))
+				f.bucketDone(b)
+				return
+			case msg = <-b.pending:
 			}
 		}
+		if msg.Version != p.Version() {
+			// Recorded on an out-of-date deployment (pre-rollout
+			// binary still reporting); the trace lacks the
+			// recorded values this iteration needs.
+			b.staleDrops.Add(1)
+			continue
+		}
+		occ, err := occurrenceFrom(msg)
+		if err != nil {
+			b.badDrops.Add(1)
+			f.logf("fleet: bucket %d (%s): dropping blob: %v", b.ID, b.App, err)
+			continue
+		}
+		f.feedOccurrence(b, g, p, occ)
+	}
+	// Resolved: the archive no longer needs every reoccurrence of this
+	// failure — retire its bucket so compaction reclaims the interior
+	// records (the reference and final occurrence survive as the audit
+	// pair).
+	if st := f.opts.Store; st != nil {
+		st.Retire(tracestore.KeyOf(b.Sig))
 	}
 	rep := p.Report()
 	b.report.Store(rep)
@@ -384,6 +416,75 @@ func (f *Fleet) runBucket(b *Bucket) {
 		m.Deploy(prod.Deployment{})
 	}
 	f.bucketDone(b)
+}
+
+// feedOccurrence advances the bucket's pipeline by one reoccurrence
+// and rolls out any re-instrumented deployment it produced.
+func (f *Fleet) feedOccurrence(b *Bucket, g *appGroup, p *core.Pipeline, occ *core.Occurrence) {
+	before := p.Version()
+	if _, err := p.Feed(occ); err != nil {
+		f.logf("fleet: bucket %d (%s): pipeline: %v", b.ID, b.App, err)
+	}
+	b.iterations.Store(int32(len(p.Report().Iterations)))
+	b.recordSolverStats(p)
+	if p.Version() != before && !p.Done() {
+		// Key data values selected: roll the instrumented
+		// module out to this app's machines.
+		dep := prod.Deployment{Module: p.Deployed(), Version: p.Version()}
+		for _, m := range g.machines {
+			m.Deploy(dep)
+		}
+		f.logf("fleet: bucket %d (%s): rolled out instrumented deployment v%d",
+			b.ID, b.App, p.Version())
+	}
+}
+
+// replaySpilled pops spilled archive records until it finds one
+// recorded on the pipeline's current deployment version, and rebuilds
+// it as a streaming occurrence: the trace decodes straight off the
+// segment log (delta ops applied on the fly), never materializing the
+// event slice. Stale or unreadable spills are dropped with the same
+// accounting as their live counterparts.
+func (f *Fleet) replaySpilled(b *Bucket, version int) (*core.Occurrence, bool) {
+	st := f.opts.Store
+	if st == nil {
+		return nil, false
+	}
+	key := tracestore.KeyOf(b.Sig)
+	for {
+		seq, ok := b.popSpill()
+		if !ok {
+			return nil, false
+		}
+		r, err := st.OpenEvents(key, seq)
+		if err != nil {
+			b.badDrops.Add(1)
+			f.logf("fleet: bucket %d (%s): spilled record %d unreadable: %v", b.ID, b.App, seq, err)
+			continue
+		}
+		info := r.Info()
+		if info.Meta.Version != version {
+			b.staleDrops.Add(1)
+			continue
+		}
+		if info.Meta.Lost > 0 {
+			// Mirror the live path: a wrapped ring lacks its prefix.
+			b.badDrops.Add(1)
+			continue
+		}
+		occ := &core.Occurrence{
+			Result: &vm.Result{
+				Failure: b.Sig,
+				Stats:   vm.Stats{Instrs: info.Meta.Instrs},
+			},
+			Seed: info.Meta.Seed,
+		}
+		if info.RawLen > 0 {
+			occ.Events = r
+		}
+		b.replayed.Add(1)
+		return occ, true
+	}
 }
 
 func (f *Fleet) bucketDone(b *Bucket) {

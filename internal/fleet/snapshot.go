@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"execrecon/internal/prod"
+	"execrecon/internal/tracestore"
 )
 
 // Snapshot is a point-in-time view of the whole subsystem: ingest
@@ -32,6 +33,18 @@ type Snapshot struct {
 	SolverBlasted   int64
 	SolverFallbacks int64
 	SolverResets    int64
+	// StoreEnabled reports whether the fleet runs with a persistent
+	// trace archive (Options.Store); Store is then its stats snapshot:
+	// live segments, raw vs stored bytes (the delta-compression win),
+	// torn-tail recoveries, and compaction totals.
+	StoreEnabled bool
+	Store        tracestore.Stats
+	// Spills/Replayed aggregate the buckets' archive spill traffic:
+	// occurrences parked on disk when a bucket's in-RAM queue
+	// overflowed, and spilled occurrences replayed into pipelines from
+	// the segment log.
+	Spills   int64
+	Replayed int64
 	// Buckets holds per-bucket progress in creation order.
 	Buckets []BucketSnapshot
 }
@@ -53,6 +66,12 @@ type BucketSnapshot struct {
 	PendingDrops int64
 	StaleDrops   int64
 	BadDrops     int64
+	// Spills counts occurrences that overflowed the in-RAM queue and
+	// were parked in the trace archive instead of dropped; Replayed
+	// counts spilled occurrences later streamed back into the
+	// pipeline. Both stay zero without Options.Store.
+	Spills   int64
+	Replayed int64
 	// Iterations is the pipeline's completed analysis iterations.
 	Iterations int
 	// Solver-session counters (zero unless the fleet runs with
@@ -90,8 +109,14 @@ func (f *Fleet) Snapshot() Snapshot {
 			s.Machines.Dropped += st.Dropped
 		}
 	}
+	if st := f.opts.Store; st != nil {
+		s.StoreEnabled = true
+		s.Store = st.Stats()
+	}
 	for _, b := range f.table.Buckets() {
 		bs := f.snapshotBucket(b)
+		s.Spills += bs.Spills
+		s.Replayed += bs.Replayed
 		s.SolverSolves += bs.SolverSolves
 		s.SolverReused += bs.SolverReused
 		s.SolverBlasted += bs.SolverBlasted
@@ -114,6 +139,8 @@ func (f *Fleet) snapshotBucket(b *Bucket) BucketSnapshot {
 		PendingDrops: b.pendingDrops.Load(),
 		StaleDrops:   b.staleDrops.Load(),
 		BadDrops:     b.badDrops.Load(),
+		Spills:       b.spills.Load(),
+		Replayed:     b.replayed.Load(),
 		Iterations:   int(b.iterations.Load()),
 
 		SolverSolves:    b.solverSolves.Load(),

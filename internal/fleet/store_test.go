@@ -1,0 +1,187 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"execrecon/internal/prod"
+	"execrecon/internal/pt"
+	"execrecon/internal/tracestore"
+	"execrecon/internal/vm"
+)
+
+// TestFleetWithStore runs the stress fleet with the persistent trace
+// archive wired in (run with -race): every ingested reoccurrence is
+// archived delta-compressed, verdicts stay identical to the
+// store-less fleet, the snapshot surfaces archive stats, and resolved
+// buckets are retired in the store.
+func TestFleetWithStore(t *testing.T) {
+	apps := testApps(t)
+	store, err := tracestore.Open(t.TempDir(), tracestore.Options{AutoCompact: true})
+	if err != nil {
+		t.Fatalf("Open store: %v", err)
+	}
+	defer store.Close()
+
+	f, err := New(apps, Options{
+		Shards:         4,
+		QueueCap:       32,
+		Workers:        4,
+		MachinesPerApp: 3,
+		PendingCap:     1, // overflow aggressively: exercise the spill path
+		Pace:           50 * time.Microsecond,
+		Timeout:        60 * time.Second,
+		Store:          store,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	_ = f.Snapshot() // live stats surface mid-run
+
+	res, err := f.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v\nsnapshot: %+v", err, f.Snapshot())
+	}
+	if len(res.Buckets) != 3 {
+		t.Fatalf("buckets = %d, want 3: %+v", len(res.Buckets), res.Buckets)
+	}
+	for _, b := range res.Buckets {
+		if !b.Reproduced || !b.Verified {
+			t.Errorf("bucket %s: reproduced=%v verified=%v (report %+v)",
+				b.App, b.Reproduced, b.Verified, b.Report)
+		}
+	}
+	final := res.Final
+	if !final.StoreEnabled {
+		t.Fatal("snapshot.StoreEnabled = false")
+	}
+	// Every drained message was archived: accepted messages are either
+	// still sitting in a shard queue at shutdown (bounded by the total
+	// ingest capacity) or went through the archive append.
+	backlog := int64(0)
+	for _, d := range final.QueueDepths {
+		backlog += 32 // QueueCap per shard
+		_ = d
+	}
+	if final.Store.Appends < final.Accepted-backlog {
+		t.Errorf("archive appends %d < accepted %d - backlog %d", final.Store.Appends, final.Accepted, backlog)
+	}
+	if final.Store.References < 3 {
+		t.Errorf("archive references = %d, want >= 3 (one per signature)", final.Store.References)
+	}
+	// Resolved buckets were retired in the store, and auto-compaction
+	// reclaimed their interior records.
+	for _, b := range res.Buckets {
+		key := tracestore.KeyOf(f.table.Buckets()[b.ID].Sig)
+		if !store.Retired(key) {
+			t.Errorf("bucket %s (key %#x) not retired in store", b.App, key)
+		}
+	}
+	if final.Store.Compactions < 1 || final.Store.ReclaimedBytes <= 0 {
+		t.Errorf("auto-compaction did not run: %+v", final.Store)
+	}
+}
+
+// TestSpillReplay exercises the overflow spill path deterministically:
+// occurrences that overflow a bucket's pending queue are parked in the
+// archive and replayed — in order, version-filtered — when the live
+// queue runs dry.
+func TestSpillReplay(t *testing.T) {
+	store, err := tracestore.Open(t.TempDir(), tracestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	f, err := New(testApps(t), Options{PendingCap: 1, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sig := &vm.Failure{Kind: vm.FailAssert, Func: "spill", InstrID: 3, Stack: []string{"main", "spill"}}
+	b, isNew := f.table.Intern(sig, "alpha")
+	if !isNew {
+		t.Fatal("bucket not new")
+	}
+
+	makeMsg := func(seed int64, version int) *prod.TraceMsg {
+		ring := pt.NewRing(1 << 16)
+		enc := pt.NewEncoder(ring)
+		enc.Chunk(0, 0)
+		for i := 0; i < 50; i++ {
+			enc.TNT(i%2 == 0)
+		}
+		enc.Finish()
+		return &prod.TraceMsg{
+			App: "alpha", Version: version, Ring: ring,
+			Failure: sig, Seed: seed, Instrs: 100 + seed,
+		}
+	}
+
+	// Archive + offer like drainShard does. PendingCap 1: the first
+	// message occupies the queue, the rest spill.
+	for i := 0; i < 4; i++ {
+		version := 0
+		if i == 2 {
+			version = 1 // recorded on a stale deployment
+		}
+		msg := makeMsg(int64(i), version)
+		seq, err := store.AppendRing(msg.Failure, tracestore.Meta{
+			App: msg.App, Version: msg.Version, Seed: msg.Seed, Instrs: msg.Instrs,
+		}, msg.Ring)
+		if err != nil {
+			t.Fatalf("AppendRing %d: %v", i, err)
+		}
+		b.offerOrSpill(msg, true, seq)
+	}
+	if got := b.spills.Load(); got != 3 {
+		t.Fatalf("spills = %d, want 3", got)
+	}
+	if got := len(b.pending); got != 1 {
+		t.Fatalf("pending depth = %d, want 1", got)
+	}
+
+	// Replay at version 0: seqs 1 and 3 stream back in order; seq 2
+	// (stale deployment) is filtered with accounting.
+	for _, wantSeed := range []int64{1, 3} {
+		occ, ok := f.replaySpilled(b, 0)
+		if !ok {
+			t.Fatalf("replaySpilled returned nothing (want seed %d)", wantSeed)
+		}
+		if occ.Seed != wantSeed {
+			t.Fatalf("replayed seed = %d, want %d", occ.Seed, wantSeed)
+		}
+		if occ.Result.Failure != sig || occ.Result.Stats.Instrs != 100+wantSeed {
+			t.Fatalf("replayed occurrence = %+v", occ)
+		}
+		if occ.Events == nil {
+			t.Fatal("replayed occurrence has no event stream")
+		}
+		n := 0
+		for occ.Events.Next() != nil {
+			n++
+		}
+		if n != 51 { // Chunk + 50 TNTs
+			t.Fatalf("replayed stream decoded %d events, want 51", n)
+		}
+	}
+	if _, ok := f.replaySpilled(b, 0); ok {
+		t.Fatal("replaySpilled returned a fourth occurrence")
+	}
+	if got := b.staleDrops.Load(); got != 1 {
+		t.Fatalf("staleDrops = %d, want 1", got)
+	}
+	if got := b.replayed.Load(); got != 2 {
+		t.Fatalf("replayed = %d, want 2", got)
+	}
+	// The snapshot surfaces the spill traffic.
+	snap := f.Snapshot()
+	if snap.Spills != 3 || snap.Replayed != 2 {
+		t.Fatalf("snapshot spills=%d replayed=%d, want 3/2", snap.Spills, snap.Replayed)
+	}
+	if !snap.StoreEnabled || snap.Store.Records != 4 {
+		t.Fatalf("snapshot store stats = %+v", snap.Store)
+	}
+}

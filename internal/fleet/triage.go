@@ -56,8 +56,19 @@ type Bucket struct {
 
 	pending chan *prod.TraceMsg
 
+	// spilled holds archive sequence numbers of occurrences that
+	// overflowed the in-RAM pending queue while the fleet runs with a
+	// trace store: instead of dropping them, triage parks the archived
+	// seq here and the bucket's pipeline replays them from disk when
+	// the live queue runs dry (cold/backlogged buckets never lose
+	// reoccurrences).
+	spillMu sync.Mutex
+	spilled []uint64
+
 	occurrences  atomic.Int64 // total matching occurrences seen by triage
 	pendingDrops atomic.Int64 // occurrences dropped because pending was full
+	spills       atomic.Int64 // occurrences parked in the archive on overflow
+	replayed     atomic.Int64 // spilled occurrences replayed from the archive
 	staleDrops   atomic.Int64 // occurrences dropped for an out-of-date version
 	badDrops     atomic.Int64 // occurrences dropped as undecodable/truncated
 	state        atomic.Int32
@@ -101,14 +112,40 @@ func (b *Bucket) State() BucketState { return BucketState(b.state.Load()) }
 // pipeline only ever needs "the next" occurrence, so backlog beyond
 // the queue bound is redundant anyway).
 func (b *Bucket) offer(msg *prod.TraceMsg) bool {
+	return b.offerOrSpill(msg, false, 0)
+}
+
+// offerOrSpill is offer with a spill fallback: when the pending queue
+// is full and the occurrence is already archived under seq, the seq is
+// parked on the spill list for later replay instead of being dropped.
+func (b *Bucket) offerOrSpill(msg *prod.TraceMsg, archived bool, seq uint64) bool {
 	b.occurrences.Add(1)
 	select {
 	case b.pending <- msg:
 		return true
 	default:
-		b.pendingDrops.Add(1)
+		if archived {
+			b.spillMu.Lock()
+			b.spilled = append(b.spilled, seq)
+			b.spillMu.Unlock()
+			b.spills.Add(1)
+		} else {
+			b.pendingDrops.Add(1)
+		}
 		return false
 	}
+}
+
+// popSpill dequeues the oldest spilled archive sequence number.
+func (b *Bucket) popSpill() (uint64, bool) {
+	b.spillMu.Lock()
+	defer b.spillMu.Unlock()
+	if len(b.spilled) == 0 {
+		return 0, false
+	}
+	seq := b.spilled[0]
+	b.spilled = b.spilled[1:]
+	return seq, true
 }
 
 // Table is the concurrent signature-hash bucket index. Lookups hash

@@ -1,0 +1,169 @@
+package pt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"execrecon/internal/ir"
+)
+
+// encodeRandomTrace builds a valid packet stream with every packet
+// kind represented.
+func encodeRandomTrace(seed int64, n int) []byte {
+	ring := NewRing(1 << 20)
+	enc := NewEncoder(ring)
+	rng := rand.New(rand.NewSource(seed))
+	enc.Chunk(0, 0)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			enc.TIP(uint64(rng.Int63()))
+		case 1:
+			enc.PTW(int32(rng.Intn(100)-50), ir.W32, uint64(rng.Int63()))
+		case 2:
+			enc.PGD(uint64(rng.Intn(1 << 16)))
+		case 3:
+			enc.Chunk(rng.Intn(8), uint64(i))
+		default:
+			enc.TNT(rng.Intn(2) == 0)
+		}
+	}
+	enc.Finish()
+	data, _ := ring.Bytes()
+	return data
+}
+
+// drainStream decodes data through the streaming decoder, returning
+// the events it produced and its terminal error.
+func drainStream(data []byte, lost uint64) ([]Event, error) {
+	d := NewStreamDecoder(bytes.NewReader(data), lost)
+	var evs []Event
+	for {
+		ev := d.Next()
+		if ev == nil {
+			return evs, d.Err()
+		}
+		evs = append(evs, *ev) // copy: the pointee is reused per packet
+	}
+}
+
+// FuzzDecodeBytes is the decoder robustness fuzz target: arbitrary
+// bytes (with an arbitrary lost-prefix count) must decode to events or
+// an error — never a panic — and the batch and streaming decoders must
+// agree. Run the smoke in CI with:
+//
+//	go test -run=^$ -fuzz=FuzzDecodeBytes -fuzztime=30s ./internal/pt/
+func FuzzDecodeBytes(f *testing.F) {
+	// Seed corpus: valid traces, truncations, and corruptions.
+	valid := encodeRandomTrace(1, 400)
+	f.Add(valid, uint64(0))
+	f.Add(valid, uint64(17)) // forces PSB resync
+	f.Add(valid[:len(valid)/2], uint64(0))
+	f.Add(valid[3:], uint64(3))
+	f.Add([]byte{}, uint64(0))
+	f.Add([]byte{hdrPSB}, uint64(0))
+	f.Add([]byte{hdrEnd}, uint64(0))
+	f.Add([]byte{hdrTNT, 255}, uint64(0))                                       // truncated TNT payload
+	f.Add([]byte{hdrTIP, 0x80, 0x80, 0x80}, uint64(0))                          // truncated uvarint
+	f.Add(bytes.Repeat([]byte{0x80}, 16), uint64(0))                            // unknown header + varint soup
+	f.Add(append([]byte{hdrTIP}, bytes.Repeat([]byte{0xff}, 12)...), uint64(0)) // uvarint overflow
+	f.Add([]byte{0xee, 0x01, 0x02}, uint64(0))                                  // unknown packet header
+	f.Add([]byte{hdrChunk, 3}, uint64(0))                                       // truncated chunk
+	f.Add([]byte{hdrPTW, 1, 32}, uint64(0))                                     // truncated PTW value
+	mangled := append([]byte(nil), valid...)
+	for i := 7; i < len(mangled); i += 31 {
+		mangled[i] ^= 0x41
+	}
+	f.Add(mangled, uint64(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, lost uint64) {
+		// Must never panic (the decoder is fed attacker-shaped bytes
+		// from disk by the trace archive).
+		tr, batchErr := DecodeBytes(data, lost)
+
+		// Differential: the streaming decoder must agree with the
+		// batch decoder on both events and failure.
+		evs, streamErr := drainStream(data, lost)
+		if batchErr == nil {
+			if streamErr != nil {
+				t.Fatalf("batch decoded %d events but stream failed: %v", len(tr.Events), streamErr)
+			}
+			want := tr.Events
+			if n := len(want); n > 0 && want[n-1].Kind == EvEnd {
+				want = want[:n-1] // cursor semantics: End is not consumable
+			}
+			if len(evs) != len(want) {
+				t.Fatalf("stream decoded %d events, batch %d", len(evs), len(want))
+			}
+			for i := range want {
+				if evs[i] != want[i] {
+					t.Fatalf("event %d: stream %+v != batch %+v", i, evs[i], want[i])
+				}
+			}
+		} else if streamErr == nil {
+			t.Fatalf("batch failed (%v) but stream decoded %d events cleanly", batchErr, len(evs))
+		}
+	})
+}
+
+// TestStreamBatchDifferentialTruncations drives the differential
+// explicitly over every truncation of a valid trace — the archive's
+// torn-tail shapes — without needing the fuzz engine.
+func TestStreamBatchDifferentialTruncations(t *testing.T) {
+	data := encodeRandomTrace(7, 300)
+	for cut := 0; cut <= len(data); cut++ {
+		pfx := data[:cut]
+		tr, batchErr := DecodeBytes(pfx, 0)
+		evs, streamErr := drainStream(pfx, 0)
+		if (batchErr == nil) != (streamErr == nil) {
+			t.Fatalf("cut=%d: batch err %v vs stream err %v", cut, batchErr, streamErr)
+		}
+		if batchErr != nil {
+			continue
+		}
+		want := tr.Events
+		if n := len(want); n > 0 && want[n-1].Kind == EvEnd {
+			want = want[:n-1]
+		}
+		if len(evs) != len(want) {
+			t.Fatalf("cut=%d: stream %d events, batch %d", cut, len(evs), len(want))
+		}
+	}
+}
+
+// TestRingBytesNoAlias pins the documented guarantee that Ring.Bytes
+// returns a fresh copy: the snapshot must survive subsequent writes
+// (including a full wrap) unchanged. The trace archive depends on
+// this — it persists blobs long after the machine reused its ring.
+func TestRingBytesNoAlias(t *testing.T) {
+	// Unwrapped ring.
+	r := NewRing(64)
+	r.Write([]byte("reference occurrence"))
+	snap, lost := r.Bytes()
+	if lost != 0 {
+		t.Fatalf("lost = %d", lost)
+	}
+	want := append([]byte(nil), snap...)
+	r.Write(bytes.Repeat([]byte{0xAA}, 200)) // wraps several times
+	if !bytes.Equal(snap, want) {
+		t.Fatalf("snapshot mutated by later writes: %q != %q", snap, want)
+	}
+
+	// Wrapped ring.
+	r2 := NewRing(16)
+	r2.Write([]byte("0123456789abcdefghij")) // 20 bytes into a 16-byte ring
+	snap2, lost2 := r2.Bytes()
+	if lost2 != 4 {
+		t.Fatalf("lost = %d, want 4", lost2)
+	}
+	want2 := append([]byte(nil), snap2...)
+	r2.Write(bytes.Repeat([]byte{0x55}, 40))
+	if !bytes.Equal(snap2, want2) {
+		t.Fatalf("wrapped snapshot mutated by later writes")
+	}
+	r2.Reset()
+	if !bytes.Equal(snap2, want2) {
+		t.Fatalf("wrapped snapshot mutated by Reset")
+	}
+}

@@ -60,6 +60,13 @@ func (r *Ring) Write(p []byte) {
 
 // Bytes returns the surviving window in write order and the number of
 // bytes lost to wrapping.
+//
+// The returned slice is always a fresh copy — it never aliases the
+// live ring buffer — so callers (archival readers in particular) may
+// retain it across subsequent Write/Reset calls. This is a documented
+// guarantee, not an accident of the implementation: internal/tracestore
+// persists these blobs long after the producing machine has reused its
+// ring, and TestRingBytesNoAlias pins the behavior.
 func (r *Ring) Bytes() (data []byte, lost uint64) {
 	cap64 := uint64(len(r.buf))
 	if r.written <= cap64 {
@@ -253,9 +260,24 @@ type Trace struct {
 // ErrNoSync is returned when a wrapped trace contains no sync point.
 var ErrNoSync = errors.New("pt: wrapped trace contains no PSB sync point")
 
+// maxUvarintBytes bounds a uvarint encoding: 10 groups of 7 bits
+// cover 64 bits. Longer encodings are malformed input (the decoder is
+// fed attacker-shaped bytes from disk by the trace archive, so it
+// must reject rather than silently wrap).
+const maxUvarintBytes = 10
+
 // Decode parses the ring contents back into events.
 func Decode(r *Ring) (*Trace, error) {
 	data, lost := r.Bytes()
+	return DecodeBytes(data, lost)
+}
+
+// DecodeBytes parses a raw packet stream (as returned by Ring.Bytes)
+// back into events. lost is the number of prefix bytes destroyed by
+// ring wrapping; when nonzero the decoder resynchronizes at the first
+// PSB sync point. DecodeBytes never panics: corrupt or truncated
+// input produces an error.
+func DecodeBytes(data []byte, lost uint64) (*Trace, error) {
 	t := &Trace{Truncated: lost > 0, LostBytes: lost}
 	i := 0
 	if lost > 0 {
@@ -278,9 +300,12 @@ func Decode(r *Ring) (*Trace, error) {
 	getUvarint := func() (uint64, error) {
 		var v uint64
 		var shift uint
-		for {
+		for n := 0; ; n++ {
 			if i >= len(data) {
 				return 0, fmt.Errorf("pt: truncated uvarint at %d", i)
+			}
+			if n == maxUvarintBytes {
+				return 0, fmt.Errorf("pt: uvarint overflow at %d", i)
 			}
 			b := data[i]
 			i++
@@ -359,6 +384,29 @@ func Decode(r *Ring) (*Trace, error) {
 	return t, nil
 }
 
+// EventSource is the event-at-a-time interface the shepherded
+// executor consumes: sequential Peek/Next with position accounting.
+// Cursor implements it over a fully decoded in-memory Trace;
+// StreamDecoder implements it over an incrementally decoded byte
+// stream (the trace-archive read path), and internal/tracestore's
+// readers compose it over delta-reconstructed segment data.
+//
+// Remaining may be a lower bound for streaming sources that do not
+// know the total event count in advance; the contract consumers rely
+// on is only that Remaining() > 0 iff another event is available.
+type EventSource interface {
+	// Peek returns the next event without consuming it, or nil at
+	// end of trace (or on a source error).
+	Peek() *Event
+	// Next consumes and returns the next event, or nil at end.
+	Next() *Event
+	// Pos returns the number of events consumed so far.
+	Pos() int
+	// Remaining reports whether (and for in-memory sources, how
+	// many) events remain.
+	Remaining() int
+}
+
 // Cursor iterates a decoded trace the way the shepherded executor
 // consumes it: sequential events with kind expectations.
 type Cursor struct {
@@ -392,6 +440,8 @@ func (c *Cursor) Next() *Event {
 
 // Pos returns the cursor position (events consumed).
 func (c *Cursor) Pos() int { return c.pos }
+
+var _ EventSource = (*Cursor)(nil)
 
 // Remaining returns the number of unconsumed events.
 func (c *Cursor) Remaining() int {

@@ -175,7 +175,7 @@ type Engine struct {
 	threads []*sthread
 	objs    []*sobj
 	mus     map[uint64]int
-	cursor  *pt.Cursor
+	cursor  pt.EventSource
 	failure *vm.Failure
 
 	pc        []*expr.Expr
@@ -245,9 +245,20 @@ func (o *sobj) sizeHint() uint64 {
 	return 1 << 16
 }
 
-// New prepares an engine to reconstruct the given failure from the
-// decoded trace.
+// New prepares an engine to reconstruct the given failure from a
+// fully decoded in-memory trace.
 func New(mod *ir.Module, trace *pt.Trace, failure *vm.Failure, opts Options) *Engine {
+	return NewFromEvents(mod, pt.NewCursor(trace), failure, opts)
+}
+
+// NewFromEvents prepares an engine that shepherds execution along the
+// events delivered by src — either an in-memory pt.Cursor or a
+// streaming source such as a pt.StreamDecoder over an archived trace
+// (internal/tracestore), which never materializes the full event
+// slice. The engine reads each event's fields before advancing the
+// source again, so streaming sources' per-packet event buffers are
+// safe.
+func NewFromEvents(mod *ir.Module, src pt.EventSource, failure *vm.Failure, opts Options) *Engine {
 	if opts.MaxInstrs == 0 {
 		opts.MaxInstrs = 100_000_000
 	}
@@ -266,7 +277,7 @@ func New(mod *ir.Module, trace *pt.Trace, failure *vm.Failure, opts Options) *En
 		b:         b,
 		sol:       sol,
 		mus:       make(map[uint64]int),
-		cursor:    pt.NewCursor(trace),
+		cursor:    src,
 		failure:   failure,
 		exprSites: make(map[uint64]SiteKey),
 		sites:     make(map[SiteKey]*SiteStats),

@@ -1,0 +1,151 @@
+package tracestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Byte-level run-length packing of PT packet streams. TNT payload
+// bytes are heavily repetitive — loop-dominated control flow emits
+// long runs of 0xff/0x00 bit groups, and varint-encoded packet bodies
+// repeat byte patterns — so references and delta literal runs both go
+// through this packer before hitting the segment log.
+//
+// Encoding: a sequence of runs, each introduced by a uvarint control
+// word ctrl = (runLen << 1) | isRepeat.
+//
+//	isRepeat == 1: one value byte follows; it repeats runLen times.
+//	isRepeat == 0: runLen verbatim bytes follow.
+//
+// The stream is self-terminating by length (the container frames the
+// packed body), and unpacking is a streaming operation: rleReader
+// yields bytes without materializing the unpacked stream.
+
+// rleMinRun is the repeat-run threshold: a repeat run costs ≥2 bytes
+// (ctrl + value), so runs shorter than 3 stay literal.
+const rleMinRun = 3
+
+// packRLE appends the packed form of src to dst and returns it.
+func packRLE(dst, src []byte) []byte {
+	litStart := 0
+	flushLit := func(end int) {
+		for litStart < end {
+			n := end - litStart
+			dst = putUvarint(dst, uint64(n)<<1)
+			dst = append(dst, src[litStart:litStart+n]...)
+			litStart = end
+		}
+	}
+	i := 0
+	for i < len(src) {
+		j := i + 1
+		for j < len(src) && src[j] == src[i] {
+			j++
+		}
+		if run := j - i; run >= rleMinRun {
+			flushLit(i)
+			dst = putUvarint(dst, uint64(run)<<1|1)
+			dst = append(dst, src[i])
+			litStart = j
+		}
+		i = j
+	}
+	flushLit(len(src))
+	return dst
+}
+
+// unpackRLE materializes a packed stream (test/CLI convenience; the
+// hot read path streams through rleReader instead).
+func unpackRLE(src []byte) ([]byte, error) {
+	var out []byte
+	r := newRLEReader(bufio.NewReader(newBytesReader(src)))
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func newBytesReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if len(s.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b)
+	s.b = s.b[n:]
+	return n, nil
+}
+
+// rleReader streams the unpacked bytes of an RLE-packed stream.
+type rleReader struct {
+	br      *bufio.Reader
+	runLeft uint64
+	repeat  bool
+	val     byte
+	err     error
+}
+
+func newRLEReader(br *bufio.Reader) *rleReader { return &rleReader{br: br} }
+
+func (r *rleReader) nextRun() error {
+	ctrl, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		return io.EOF
+	}
+	if err != nil {
+		return fmt.Errorf("tracestore: corrupt RLE control: %w", err)
+	}
+	r.repeat = ctrl&1 == 1
+	r.runLeft = ctrl >> 1
+	if r.repeat {
+		v, err := r.br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("tracestore: truncated RLE repeat value")
+		}
+		r.val = v
+	}
+	if r.runLeft == 0 && r.repeat {
+		return fmt.Errorf("tracestore: empty RLE repeat run")
+	}
+	return nil
+}
+
+func (r *rleReader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	for r.runLeft == 0 {
+		if err := r.nextRun(); err != nil {
+			r.err = err
+			return 0, err
+		}
+	}
+	n := len(p)
+	if uint64(n) > r.runLeft {
+		n = int(r.runLeft)
+	}
+	if r.repeat {
+		for i := 0; i < n; i++ {
+			p[i] = r.val
+		}
+	} else {
+		m, err := io.ReadFull(r.br, p[:n])
+		if err != nil {
+			r.err = fmt.Errorf("tracestore: truncated RLE literal run")
+			return m, r.err
+		}
+	}
+	r.runLeft -= uint64(n)
+	return n, nil
+}

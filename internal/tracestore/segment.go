@@ -1,0 +1,351 @@
+package tracestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"execrecon/internal/vm"
+)
+
+// Segment framing. A segment file is a sequence of framed records:
+//
+//	+-------+------------+------------+---------------+
+//	| magic | payloadLen | crc32(pay) |  payload ...  |
+//	|  4 B  |  4 B (LE)  |  4 B (LE)  |  payloadLen B |
+//	+-------+------------+------------+---------------+
+//
+// The payload is self-describing (see encodePayload). A crash can
+// only tear the tail of the last segment; recovery scans frames and
+// truncates at the first bad magic, oversized length, short read, or
+// CRC mismatch — every fully framed record before the tear survives,
+// the tear itself is discarded, and the store keeps appending after
+// it. Nothing before a valid frame is ever rewritten, so a torn tail
+// is never fatal.
+
+var segMagic = [4]byte{'E', 'R', 'S', '1'}
+
+const (
+	frameHeaderSize = 12
+	// maxPayload bounds a single record (a trace blob plus metadata);
+	// anything larger in a frame header is treated as corruption.
+	maxPayload = 1 << 30
+)
+
+// Record kinds.
+const (
+	// KindReference is a bucket's first archived occurrence: the full
+	// raw packet stream, RLE-packed.
+	KindReference byte = 1
+	// KindDelta is a subsequent reoccurrence, stored as copy-range +
+	// literal-run ops against the bucket's reference stream.
+	KindDelta byte = 2
+)
+
+func segName(id int) string { return fmt.Sprintf("seg-%08d.log", id) }
+
+func parseSegName(name string) (int, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".log")
+	if len(mid) == 0 {
+		return 0, false
+	}
+	id := 0
+	for _, c := range mid {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		id = id*10 + int(c-'0')
+	}
+	return id, true
+}
+
+// --- varint / string primitives -------------------------------------
+
+func putUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+func putZigzag(dst []byte, v int64) []byte {
+	return putUvarint(dst, uint64(v<<1)^uint64(v>>63))
+}
+
+func putString(dst []byte, s string) []byte {
+	dst = putUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// byteScanner walks an in-memory payload with error latching, so the
+// parser reads like straight-line code and corrupt input surfaces as
+// one error instead of a panic.
+type byteScanner struct {
+	b   []byte
+	i   int
+	err error
+}
+
+func (s *byteScanner) fail(what string) {
+	if s.err == nil {
+		s.err = fmt.Errorf("tracestore: corrupt payload: %s at offset %d", what, s.i)
+	}
+}
+
+func (s *byteScanner) uvarint() uint64 {
+	if s.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(s.b[s.i:])
+	if n <= 0 {
+		s.fail("bad uvarint")
+		return 0
+	}
+	s.i += n
+	return v
+}
+
+func (s *byteScanner) zigzag() int64 {
+	u := s.uvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+func (s *byteScanner) byte() byte {
+	if s.err != nil {
+		return 0
+	}
+	if s.i >= len(s.b) {
+		s.fail("truncated byte")
+		return 0
+	}
+	c := s.b[s.i]
+	s.i++
+	return c
+}
+
+func (s *byteScanner) str() string {
+	n := s.uvarint()
+	if s.err != nil {
+		return ""
+	}
+	if n > uint64(len(s.b)-s.i) {
+		s.fail("string length out of range")
+		return ""
+	}
+	v := string(s.b[s.i : s.i+int(n)])
+	s.i += int(n)
+	return v
+}
+
+// --- failure signature codec ----------------------------------------
+
+func encodeFailure(dst []byte, f *vm.Failure) []byte {
+	dst = putUvarint(dst, uint64(f.Kind))
+	dst = putString(dst, f.Msg)
+	dst = putString(dst, f.Func)
+	dst = putZigzag(dst, int64(f.InstrID))
+	dst = putZigzag(dst, int64(f.Line))
+	dst = putZigzag(dst, int64(f.Tid))
+	dst = putUvarint(dst, uint64(len(f.Stack)))
+	for _, fr := range f.Stack {
+		dst = putString(dst, fr)
+	}
+	return dst
+}
+
+func (s *byteScanner) failure() *vm.Failure {
+	f := &vm.Failure{}
+	f.Kind = vm.FailKind(s.uvarint())
+	f.Msg = s.str()
+	f.Func = s.str()
+	f.InstrID = int32(s.zigzag())
+	f.Line = int32(s.zigzag())
+	f.Tid = int(s.zigzag())
+	n := s.uvarint()
+	if s.err != nil {
+		return nil
+	}
+	if n > uint64(len(s.b)-s.i) { // each frame is ≥1 byte
+		s.fail("stack depth out of range")
+		return nil
+	}
+	for k := uint64(0); k < n; k++ {
+		f.Stack = append(f.Stack, s.str())
+	}
+	if s.err != nil {
+		return nil
+	}
+	return f
+}
+
+// --- record payload codec -------------------------------------------
+
+// recordHeader is the parsed self-describing prefix of a payload; the
+// body (RLE reference stream or delta ops) follows at bodyOff.
+type recordHeader struct {
+	kind    byte
+	seq     uint64
+	key     uint64
+	sig     *vm.Failure
+	meta    Meta
+	rawLen  uint64
+	bodyOff int
+}
+
+func encodePayload(kind byte, seq, key uint64, sig *vm.Failure, meta Meta, rawLen uint64, body []byte) []byte {
+	dst := make([]byte, 0, 64+len(body))
+	dst = append(dst, kind)
+	dst = putUvarint(dst, seq)
+	var kb [8]byte
+	binary.LittleEndian.PutUint64(kb[:], key)
+	dst = append(dst, kb[:]...)
+	dst = encodeFailure(dst, sig)
+	dst = putString(dst, meta.App)
+	dst = putZigzag(dst, int64(meta.Machine))
+	dst = putZigzag(dst, int64(meta.Version))
+	dst = putZigzag(dst, meta.Seed)
+	dst = putZigzag(dst, meta.Instrs)
+	dst = putUvarint(dst, meta.Lost)
+	dst = putUvarint(dst, rawLen)
+	return append(dst, body...)
+}
+
+func parseHeader(payload []byte) (recordHeader, error) {
+	var h recordHeader
+	s := &byteScanner{b: payload}
+	h.kind = s.byte()
+	h.seq = s.uvarint()
+	if s.err == nil && s.i+8 > len(payload) {
+		s.fail("truncated key")
+	}
+	if s.err == nil {
+		h.key = binary.LittleEndian.Uint64(payload[s.i:])
+		s.i += 8
+	}
+	h.sig = s.failure()
+	h.meta.App = s.str()
+	h.meta.Machine = int(s.zigzag())
+	h.meta.Version = int(s.zigzag())
+	h.meta.Seed = s.zigzag()
+	h.meta.Instrs = s.zigzag()
+	h.meta.Lost = s.uvarint()
+	h.rawLen = s.uvarint()
+	h.bodyOff = s.i
+	if s.err != nil {
+		return h, s.err
+	}
+	if h.kind != KindReference && h.kind != KindDelta {
+		return h, fmt.Errorf("tracestore: unknown record kind %d", h.kind)
+	}
+	return h, nil
+}
+
+// --- frame write / recovery scan ------------------------------------
+
+func appendFrame(f *os.File, off int64, payload []byte) (int64, error) {
+	var hdr [frameHeaderSize]byte
+	copy(hdr[:4], segMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+	if _, err := f.WriteAt(hdr[:], off); err != nil {
+		return off, err
+	}
+	if _, err := f.WriteAt(payload, off+frameHeaderSize); err != nil {
+		return off, err
+	}
+	return off + frameHeaderSize + int64(len(payload)), nil
+}
+
+// scannedRecord is one fully framed, CRC-valid record found by the
+// recovery scan.
+type scannedRecord struct {
+	off  int64 // payload offset in the segment file
+	plen int
+	hdr  recordHeader
+}
+
+// scanSegment walks the segment's frames. It returns the valid
+// records, the offset of the first byte after the last valid frame
+// (the truncation point when torn is true), and whether a torn or
+// corrupt tail was found.
+func scanSegment(f *os.File, size int64) (recs []scannedRecord, good int64, torn bool, err error) {
+	var off int64
+	var hdr [frameHeaderSize]byte
+	for off+frameHeaderSize <= size {
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return recs, off, true, nil
+		}
+		if [4]byte(hdr[:4]) != segMagic {
+			return recs, off, true, nil
+		}
+		plen := int64(binary.LittleEndian.Uint32(hdr[4:8]))
+		if plen > maxPayload || off+frameHeaderSize+plen > size {
+			return recs, off, true, nil
+		}
+		payload := make([]byte, plen)
+		if _, err := f.ReadAt(payload, off+frameHeaderSize); err != nil {
+			return recs, off, true, nil
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[8:12]) {
+			return recs, off, true, nil
+		}
+		rh, perr := parseHeader(payload)
+		if perr != nil {
+			// CRC-valid but unparseable: written by a future/foreign
+			// format. Treat like a torn tail — keep everything before
+			// it.
+			return recs, off, true, nil
+		}
+		recs = append(recs, scannedRecord{off: off + frameHeaderSize, plen: int(plen), hdr: rh})
+		off += frameHeaderSize + plen
+	}
+	if off != size {
+		return recs, off, true, nil // trailing partial frame header
+	}
+	return recs, off, false, nil
+}
+
+// listSegments returns the segment ids present in dir, sorted.
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []int
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if id, ok := parseSegName(e.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+func openSegFile(dir string, id int) (*os.File, int64, error) {
+	f, err := os.OpenFile(filepath.Join(dir, segName(id)), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, st.Size(), nil
+}
+
+// sectionReader returns a reader over [off, off+n) of f. Records are
+// immutable once written, so concurrent sections are safe.
+func sectionReader(f *os.File, off int64, n int) io.Reader {
+	return io.NewSectionReader(f, off, int64(n))
+}

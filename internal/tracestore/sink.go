@@ -1,0 +1,54 @@
+package tracestore
+
+import (
+	"sync/atomic"
+
+	"execrecon/internal/prod"
+)
+
+// ArchiveSink adapts a Store to prod.TraceSink: production machines
+// ship failing runs straight into the persistent archive instead of a
+// live analysis channel. This is the deferred-analysis deployment
+// shape — the fleet keeps archiving reoccurrences around the clock,
+// and reconstruction pipelines drain the store on their own schedule
+// (or replay it after a crash).
+//
+// Emit is safe for concurrent use by any number of machines; the
+// store serializes appends internally. A message whose signature
+// cannot be archived (store closed, disk error) is counted and
+// reported dropped, matching the TraceSink contract.
+type ArchiveSink struct {
+	Store *Store
+
+	appended atomic.Int64
+	dropped  atomic.Int64
+}
+
+// Emit implements prod.TraceSink.
+func (a *ArchiveSink) Emit(msg *prod.TraceMsg) bool {
+	if msg == nil || msg.Failure == nil {
+		a.dropped.Add(1)
+		return false
+	}
+	meta := Meta{
+		App:     msg.App,
+		Machine: msg.Machine,
+		Version: msg.Version,
+		Seed:    msg.Seed,
+		Instrs:  msg.Instrs,
+	}
+	if _, err := a.Store.AppendRing(msg.Failure, meta, msg.Ring); err != nil {
+		a.dropped.Add(1)
+		return false
+	}
+	a.appended.Add(1)
+	return true
+}
+
+// Appended returns the number of messages archived so far.
+func (a *ArchiveSink) Appended() int64 { return a.appended.Load() }
+
+// Dropped returns the number of messages rejected at the boundary.
+func (a *ArchiveSink) Dropped() int64 { return a.dropped.Load() }
+
+var _ prod.TraceSink = (*ArchiveSink)(nil)

@@ -1,0 +1,176 @@
+package tracestore
+
+import (
+	"fmt"
+
+	"execrecon/internal/core"
+	"execrecon/internal/ir"
+	"execrecon/internal/pt"
+	"execrecon/internal/vm"
+)
+
+// Source is a core.ReoccurrenceSource that routes every traced
+// reoccurrence through the archive: the failing run is recorded, its
+// raw ring bytes are appended to the store (delta-compressed against
+// the signature's reference stream), and the occurrence handed to the
+// pipeline decodes straight back off the segment log through the
+// streaming reader — the pipeline's symbolic executor never sees an
+// in-memory event slice.
+//
+// This is both the persistence deployment shape (`er run -store`,
+// `er reproduce -store -replay-store`) and the verdict-parity harness
+// of the erbench tracestore experiment: the only difference from the
+// in-memory GenSource path is the round trip through the archive, so
+// any verdict divergence is a store bug.
+//
+// Untraced occurrences (the deferred-tracing phase) are passed through
+// without archiving: an empty stream must not become a signature's
+// reference, or every later delta would degenerate to literals.
+type Source struct {
+	// Store receives every traced occurrence.
+	Store *Store
+	// Gen supplies production inputs; at least some runs must fail.
+	Gen core.WorkloadGen
+	// App tags archived records' metadata.
+	App string
+
+	runIdx  int
+	version int
+	lastDep *ir.Module
+}
+
+// Next implements core.ReoccurrenceSource.
+func (s *Source) Next(req core.SourceRequest) (*core.Occurrence, error) {
+	if s.Store == nil {
+		return nil, fmt.Errorf("tracestore: Source has no store")
+	}
+	if s.Gen == nil {
+		return nil, fmt.Errorf("tracestore: Source has no workload generator")
+	}
+	// Each distinct deployed module is a new rollout version, mirroring
+	// the fleet's deployment counter in the archived metadata.
+	if req.Deployed != s.lastDep {
+		if s.lastDep != nil {
+			s.version++
+		}
+		s.lastDep = req.Deployed
+	}
+	maxRuns := req.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = 1000
+	}
+	for tries := 0; tries < maxRuns; tries++ {
+		w, seed := s.Gen.Run(s.runIdx)
+		s.runIdx++
+		if !req.Traced {
+			res := vm.New(req.Deployed, vm.Config{Input: w, Seed: seed}).Run(req.Entry)
+			if res.Failure == nil {
+				continue
+			}
+			if req.Signature != nil && !res.Failure.SameSignature(req.Signature) {
+				continue
+			}
+			return &core.Occurrence{Result: res, Seed: seed}, nil
+		}
+		ring := pt.NewRing(req.RingSize)
+		enc := pt.NewEncoder(ring)
+		res := vm.New(req.Deployed, vm.Config{Input: w, Tracer: enc, Seed: seed}).Run(req.Entry)
+		if res.Failure == nil {
+			continue
+		}
+		if req.Signature != nil && !res.Failure.SameSignature(req.Signature) {
+			continue // a different bug; keep waiting for ours
+		}
+		enc.Finish()
+		seq, err := s.Store.AppendRing(res.Failure, Meta{
+			App:     s.App,
+			Version: s.version,
+			Seed:    seed,
+			Instrs:  res.Stats.Instrs,
+		}, ring)
+		if err != nil {
+			return nil, fmt.Errorf("tracestore: archive occurrence: %w", err)
+		}
+		r, err := s.Store.OpenEvents(KeyOf(res.Failure), seq)
+		if err != nil {
+			return nil, fmt.Errorf("tracestore: reopen archived occurrence: %w", err)
+		}
+		if r.Truncated() {
+			return nil, fmt.Errorf("tracestore: trace ring overflowed (%d bytes lost); increase RingSize",
+				r.Info().Meta.Lost)
+		}
+		return &core.Occurrence{Events: r, Result: res, Seed: seed}, nil
+	}
+	return nil, fmt.Errorf("tracestore: failure did not reoccur within %d runs", maxRuns)
+}
+
+// ReplaySource replays already-archived occurrences of one signature
+// in sequence order — `er reproduce -replay-store`: reconstruction
+// driven purely from the archive, no production runs at all. Each
+// Next pops the next record whose deployment version matches the
+// request's rollout epoch (tracked the same way as Source.version);
+// it fails when the archive runs out of matching records, which is
+// the archive's analog of "the failure stopped reoccurring".
+type ReplaySource struct {
+	Store *Store
+	// Key selects the signature to replay.
+	Key uint64
+
+	nextSeq uint64
+	version int
+	lastDep *ir.Module
+}
+
+// Next implements core.ReoccurrenceSource.
+func (r *ReplaySource) Next(req core.SourceRequest) (*core.Occurrence, error) {
+	if r.Store == nil {
+		return nil, fmt.Errorf("tracestore: ReplaySource has no store")
+	}
+	sig := r.Store.Sig(r.Key)
+	if sig == nil {
+		return nil, fmt.Errorf("tracestore: no archived records for key %#x", r.Key)
+	}
+	if req.Deployed != r.lastDep {
+		if r.lastDep != nil {
+			r.version++
+		}
+		r.lastDep = req.Deployed
+	}
+	if req.Signature != nil && !sig.SameSignature(req.Signature) {
+		return nil, fmt.Errorf("tracestore: archived signature %v does not match requested %v", sig, req.Signature)
+	}
+	total := uint64(r.Store.Count(r.Key))
+	for ; r.nextSeq < total; r.nextSeq++ {
+		rd, err := r.Store.OpenEvents(r.Key, r.nextSeq)
+		if err != nil {
+			return nil, fmt.Errorf("tracestore: replay seq %d: %w", r.nextSeq, err)
+		}
+		info := rd.Info()
+		if info.Meta.Version != r.version || info.Meta.Lost > 0 {
+			continue // recorded on a different rollout, or wrapped
+		}
+		occ := &core.Occurrence{
+			Result: &vm.Result{
+				Failure: sig,
+				Stats:   vm.Stats{Instrs: info.Meta.Instrs},
+			},
+			Seed: info.Meta.Seed,
+		}
+		if info.RawLen > 0 {
+			// Even when the loop asked for an untraced occurrence the
+			// archived trace is a strict superset — hand it over.
+			occ.Events = rd
+		} else if req.Traced {
+			continue // untraced record cannot satisfy a traced request
+		}
+		r.nextSeq++
+		return occ, nil
+	}
+	return nil, fmt.Errorf("tracestore: archive exhausted for key %#x at rollout v%d (%d records)",
+		r.Key, r.version, total)
+}
+
+var (
+	_ core.ReoccurrenceSource = (*Source)(nil)
+	_ core.ReoccurrenceSource = (*ReplaySource)(nil)
+)

@@ -1,0 +1,622 @@
+package tracestore
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"execrecon/internal/ir"
+	"execrecon/internal/prod"
+	"execrecon/internal/pt"
+	"execrecon/internal/vm"
+)
+
+func testSig(fn string, id int32) *vm.Failure {
+	return &vm.Failure{
+		Kind: vm.FailNullDeref, Msg: "nil deref", Func: fn,
+		InstrID: id, Line: 42, Tid: 1,
+		Stack: []string{"main", fn},
+	}
+}
+
+// makeRaw builds a deterministic raw PT packet stream of n packets
+// from a seeded RNG. flips marks step indices whose TNT outcome is
+// inverted — the reoccurrence analog: same control flow with a few
+// divergent branches.
+func makeRaw(seed int64, n int, flips map[int]bool) []byte {
+	ring := pt.NewRing(1 << 22)
+	enc := pt.NewEncoder(ring)
+	rng := rand.New(rand.NewSource(seed))
+	enc.Chunk(0, 0)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(12) {
+		case 0:
+			enc.TIP(uint64(rng.Intn(1 << 20)))
+		case 1:
+			enc.PTW(int32(rng.Intn(16)), ir.W64, uint64(rng.Int63()))
+		case 2:
+			enc.PGD(uint64(rng.Intn(1000)))
+		case 3:
+			enc.Chunk(rng.Intn(4), uint64(i))
+		default:
+			taken := rng.Intn(2) == 1
+			if flips[i] {
+				taken = !taken
+			}
+			enc.TNT(taken)
+		}
+	}
+	enc.Finish()
+	raw, lost := ring.Bytes()
+	if lost != 0 {
+		panic("test ring wrapped")
+	}
+	return raw
+}
+
+func openTest(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+
+	sig := testSig("handler", 7)
+	key := KeyOf(sig)
+	const K = 8
+	raws := make([][]byte, K)
+	for i := 0; i < K; i++ {
+		flips := map[int]bool{}
+		if i > 0 {
+			flips[100+i] = true // one divergent branch per reoccurrence
+		}
+		raws[i] = makeRaw(1, 2000, flips)
+		seq, err := s.Append(sig, Meta{App: "app", Machine: i, Version: 1, Seed: int64(i)}, raws[i])
+		if err != nil {
+			t.Fatalf("Append #%d: %v", i, err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("Append #%d: seq = %d", i, seq)
+		}
+	}
+	if got := s.Count(key); got != K {
+		t.Fatalf("Count = %d, want %d", got, K)
+	}
+	if sg := s.Sig(key); !sg.SameSignature(sig) {
+		t.Fatalf("Sig mismatch: %v", sg)
+	}
+	for i := 0; i < K; i++ {
+		raw, info, err := s.ReadRaw(key, uint64(i))
+		if err != nil {
+			t.Fatalf("ReadRaw(%d): %v", i, err)
+		}
+		if !bytes.Equal(raw, raws[i]) {
+			t.Fatalf("ReadRaw(%d): reconstructed stream differs (%d vs %d bytes)", i, len(raw), len(raws[i]))
+		}
+		wantKind := KindDelta
+		if i == 0 {
+			wantKind = KindReference
+		}
+		if info.Kind != wantKind {
+			t.Fatalf("record %d kind = %d, want %d", i, info.Kind, wantKind)
+		}
+		if info.Meta.Machine != i || info.Meta.Seed != int64(i) {
+			t.Fatalf("record %d meta = %+v", i, info.Meta)
+		}
+	}
+	st := s.Stats()
+	if st.Records != K || st.References != 1 || st.Deltas != K-1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Near-identical reoccurrence streams must compress well: the
+	// acceptance bar for the whole archive is >= 5x.
+	if r := st.Ratio(); r < 5 {
+		t.Fatalf("compression ratio %.2f < 5 (raw %d, stored %d)", r, st.RawBytes, st.StoredBytes)
+	}
+}
+
+func TestOpenEventsStreamParity(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	sig := testSig("parity", 3)
+	key := KeyOf(sig)
+	raws := [][]byte{
+		makeRaw(9, 1500, nil),
+		makeRaw(9, 1500, map[int]bool{50: true, 700: true}),
+		makeRaw(10, 300, nil), // genuinely different stream as a delta
+	}
+	for i, raw := range raws {
+		if _, err := s.Append(sig, Meta{Seed: int64(i)}, raw); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	for i, raw := range raws {
+		want, err := pt.DecodeBytes(raw, 0)
+		if err != nil {
+			t.Fatalf("DecodeBytes %d: %v", i, err)
+		}
+		r, err := s.OpenEvents(key, uint64(i))
+		if err != nil {
+			t.Fatalf("OpenEvents %d: %v", i, err)
+		}
+		cur := pt.NewCursor(want)
+		n := 0
+		for {
+			we, ge := cur.Next(), r.Next()
+			if (we == nil) != (ge == nil) {
+				t.Fatalf("record %d: stream ended early at event %d (batch=%v stream=%v)", i, n, we, ge)
+			}
+			if we == nil {
+				break
+			}
+			if *we != *ge {
+				t.Fatalf("record %d event %d: batch %+v != stream %+v", i, n, *we, *ge)
+			}
+			n++
+		}
+		if err := r.Err(); err != nil {
+			t.Fatalf("record %d: stream error: %v", i, err)
+		}
+		if r.Pos() != n {
+			t.Fatalf("record %d: Pos = %d, want %d", i, r.Pos(), n)
+		}
+	}
+}
+
+func TestReopenPreservesRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 2 << 10}) // force multi-segment
+	sigA, sigB := testSig("alpha", 1), testSig("beta", 2)
+	var rawsA, rawsB [][]byte
+	for i := 0; i < 5; i++ {
+		ra := makeRaw(21, 800, map[int]bool{i * 7: true})
+		rb := makeRaw(22, 800, map[int]bool{i * 11: true})
+		rawsA, rawsB = append(rawsA, ra), append(rawsB, rb)
+		if _, err := s.Append(sigA, Meta{Seed: int64(i)}, ra); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Append(sigB, Meta{Seed: int64(i)}, rb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Stats()
+	if before.Segments < 2 {
+		t.Fatalf("want multiple segments, got %d", before.Segments)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{SegmentBytes: 2 << 10})
+	after := s2.Stats()
+	if after.Records != before.Records || after.RawBytes != before.RawBytes || after.StoredBytes != before.StoredBytes {
+		t.Fatalf("reopen stats drifted: before %+v after %+v", before, after)
+	}
+	for i, raw := range rawsA {
+		got, _, err := s2.ReadRaw(KeyOf(sigA), uint64(i))
+		if err != nil || !bytes.Equal(got, raw) {
+			t.Fatalf("reopen ReadRaw(A,%d): err=%v equal=%v", i, err, bytes.Equal(got, raw))
+		}
+	}
+	for i, raw := range rawsB {
+		got, _, err := s2.ReadRaw(KeyOf(sigB), uint64(i))
+		if err != nil || !bytes.Equal(got, raw) {
+			t.Fatalf("reopen ReadRaw(B,%d): err=%v equal=%v", i, err, bytes.Equal(got, raw))
+		}
+	}
+	// Appends resume with fresh sequence numbers.
+	seq, err := s2.Append(sigA, Meta{}, rawsA[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 5 {
+		t.Fatalf("resumed seq = %d, want 5", seq)
+	}
+}
+
+// TestCrashRecoveryEveryOffset is the crash-tolerance sweep: the last
+// segment is truncated at every byte offset, and Open must always
+// succeed, keep exactly the records whose frames fit in the prefix,
+// and discard the torn tail.
+func TestCrashRecoveryEveryOffset(t *testing.T) {
+	base := t.TempDir()
+	s := openTest(t, base, Options{})
+	sig := testSig("crash", 5)
+	key := KeyOf(sig)
+	var frames []int64 // cumulative end offset of each record's frame
+	for i := 0; i < 4; i++ {
+		if _, err := s.Append(sig, Meta{Seed: int64(i)}, makeRaw(31, 120, map[int]bool{i: true})); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		frames = append(frames, st.StoredBytes)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(base, segName(0))
+	full, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != frames[len(frames)-1] {
+		t.Fatalf("segment size %d != accounted %d", len(full), frames[len(frames)-1])
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		dir := filepath.Join(base, "cut")
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, segName(0)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: Open failed: %v", cut, err)
+		}
+		wantRecs := 0
+		for _, end := range frames {
+			if int64(cut) >= end {
+				wantRecs++
+			}
+		}
+		st := s2.Stats()
+		if int(st.Records) != wantRecs {
+			s2.Close()
+			t.Fatalf("cut=%d: %d records survived, want %d", cut, st.Records, wantRecs)
+		}
+		torn := wantRecs < len(frames) && (wantRecs == 0 && cut > 0 || wantRecs > 0 && int64(cut) > frames[wantRecs-1])
+		if torn && st.Recoveries != 1 {
+			s2.Close()
+			t.Fatalf("cut=%d: Recoveries = %d, want 1", cut, st.Recoveries)
+		}
+		// Every surviving record must reconstruct byte-exactly.
+		for i := 0; i < wantRecs; i++ {
+			if _, _, err := s2.ReadRaw(key, uint64(i)); err != nil {
+				s2.Close()
+				t.Fatalf("cut=%d: ReadRaw(%d): %v", cut, i, err)
+			}
+		}
+		// The torn tail is gone from disk, not just from the index.
+		if fi, err := os.Stat(filepath.Join(dir, segName(0))); err == nil {
+			wantSize := int64(0)
+			if wantRecs > 0 {
+				wantSize = frames[wantRecs-1]
+			}
+			if fi.Size() != wantSize {
+				s2.Close()
+				t.Fatalf("cut=%d: tail not truncated: size %d, want %d", cut, fi.Size(), wantSize)
+			}
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatalf("cut=%d: Close: %v", cut, err)
+		}
+	}
+}
+
+// TestDeltaRoundTripProperty fuzzes the delta codec with random
+// reference/target pairs at several similarity levels: encode then
+// apply must reproduce the target byte-exactly.
+func TestDeltaRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	randBytes := func(n int) []byte {
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+	mutate := func(ref []byte, edits int) []byte {
+		tgt := append([]byte(nil), ref...)
+		for e := 0; e < edits && len(tgt) > 0; e++ {
+			switch rng.Intn(3) {
+			case 0: // flip
+				tgt[rng.Intn(len(tgt))] ^= byte(1 + rng.Intn(255))
+			case 1: // insert
+				at := rng.Intn(len(tgt) + 1)
+				ins := randBytes(1 + rng.Intn(40))
+				tgt = append(tgt[:at], append(ins, tgt[at:]...)...)
+			case 2: // delete
+				at := rng.Intn(len(tgt))
+				n := 1 + rng.Intn(40)
+				if at+n > len(tgt) {
+					n = len(tgt) - at
+				}
+				tgt = append(tgt[:at], tgt[at+n:]...)
+			}
+		}
+		return tgt
+	}
+	for trial := 0; trial < 200; trial++ {
+		ref := randBytes(rng.Intn(4096))
+		var target []byte
+		switch trial % 4 {
+		case 0:
+			target = append([]byte(nil), ref...) // identical
+		case 1:
+			target = mutate(ref, 1+rng.Intn(8)) // near-identical
+		case 2:
+			target = randBytes(rng.Intn(4096)) // unrelated
+		case 3:
+			target = mutate(ref, 1+rng.Intn(64)) // heavily edited
+		}
+		ops := deltaEncode(nil, ref, target, 0)
+		got, err := deltaApply(ref, ops)
+		if err != nil {
+			t.Fatalf("trial %d: apply: %v", trial, err)
+		}
+		if !bytes.Equal(got, target) {
+			t.Fatalf("trial %d: round trip mismatch (%d vs %d bytes)", trial, len(got), len(target))
+		}
+	}
+	// Identical streams must collapse to a single copy op, the whole
+	// point of reoccurrence archival.
+	ref := randBytes(8192)
+	ops := deltaEncode(nil, ref, ref, 0)
+	if len(ops) > 32 {
+		t.Fatalf("identical-stream delta is %d bytes", len(ops))
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 16 << 10})
+	sigHot, sigDone := testSig("hot", 1), testSig("done", 2)
+	keyHot, keyDone := KeyOf(sigHot), KeyOf(sigDone)
+	var hotRaws, doneRaws [][]byte
+	for i := 0; i < 5; i++ {
+		rh := makeRaw(41, 600, map[int]bool{i: true})
+		rd := makeRaw(42, 600, map[int]bool{i * 3: true})
+		hotRaws, doneRaws = append(hotRaws, rh), append(doneRaws, rd)
+		if _, err := s.Append(sigHot, Meta{Seed: int64(i)}, rh); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Append(sigDone, Meta{Seed: int64(i)}, rd); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A reader opened before compaction must survive the segment swap
+	// (old files are unlinked but handles stay open until Close).
+	early, err := s.OpenEvents(keyDone, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.Retire(keyDone)
+	if !s.Retired(keyDone) {
+		t.Fatal("Retired = false after Retire")
+	}
+	res, err := s.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if res.DroppedRecords != 3 {
+		t.Fatalf("DroppedRecords = %d, want 3", res.DroppedRecords)
+	}
+	if res.ReclaimedBytes <= 0 {
+		t.Fatalf("ReclaimedBytes = %d", res.ReclaimedBytes)
+	}
+
+	// Retired bucket keeps the audit pair: reference + final record.
+	recs := s.Records(keyDone)
+	if len(recs) != 2 || recs[0].Seq != 0 || recs[1].Seq != 4 {
+		t.Fatalf("retired bucket records = %+v", recs)
+	}
+	for _, want := range []struct {
+		seq uint64
+		raw []byte
+	}{{0, doneRaws[0]}, {4, doneRaws[4]}} {
+		got, _, err := s.ReadRaw(keyDone, want.seq)
+		if err != nil || !bytes.Equal(got, want.raw) {
+			t.Fatalf("post-compact ReadRaw(done,%d): err=%v equal=%v", want.seq, err, bytes.Equal(got, want.raw))
+		}
+	}
+	// The live bucket is untouched.
+	for i, raw := range hotRaws {
+		got, _, err := s.ReadRaw(keyHot, uint64(i))
+		if err != nil || !bytes.Equal(got, raw) {
+			t.Fatalf("post-compact ReadRaw(hot,%d): err=%v equal=%v", i, err, bytes.Equal(got, raw))
+		}
+	}
+	// Interior record of the retired bucket is gone.
+	if _, _, err := s.ReadRaw(keyDone, 2); err == nil {
+		t.Fatal("interior record of retired bucket still readable via index")
+	}
+	// The pre-compaction reader still streams its (now unlinked) copy.
+	want, err := pt.DecodeBytes(doneRaws[2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for early.Next() != nil {
+		n++
+	}
+	if err := early.Err(); err != nil {
+		t.Fatalf("zombie reader failed: %v", err)
+	}
+	wantN := len(want.Events)
+	if want.Events[wantN-1].Kind == pt.EvEnd {
+		wantN--
+	}
+	if n != wantN {
+		t.Fatalf("zombie reader decoded %d events, want %d", n, wantN)
+	}
+
+	// Compaction survives a reopen (records were rewritten, not lost).
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, Options{})
+	if got := s2.Count(keyDone); got != 2 {
+		t.Fatalf("reopen after compact: Count(done) = %d, want 2", got)
+	}
+	if got := s2.Count(keyHot); got != 5 {
+		t.Fatalf("reopen after compact: Count(hot) = %d, want 5", got)
+	}
+}
+
+func TestAutoCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{AutoCompact: true})
+	sig := testSig("auto", 9)
+	key := KeyOf(sig)
+	for i := 0; i < 4; i++ {
+		if _, err := s.Append(sig, Meta{}, makeRaw(51, 400, map[int]bool{i: true})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Retire(key)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s.Stats().Compactions >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background compaction never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.Count(key); got != 2 {
+		t.Fatalf("Count = %d after auto compaction, want 2", got)
+	}
+}
+
+func TestArchiveSink(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	sink := &ArchiveSink{Store: s}
+
+	sig := testSig("sink", 11)
+	ring := pt.NewRing(1 << 16)
+	enc := pt.NewEncoder(ring)
+	enc.Chunk(0, 0)
+	for i := 0; i < 100; i++ {
+		enc.TNT(i%3 == 0)
+	}
+	enc.Finish()
+
+	msg := &prod.TraceMsg{
+		App: "kv", Machine: 4, Version: 2, Ring: ring,
+		Failure: sig, Seed: 1234, Instrs: 5678,
+	}
+	if !sink.Emit(msg) {
+		t.Fatal("Emit rejected a valid message")
+	}
+	if sink.Emit(&prod.TraceMsg{Failure: nil}) {
+		t.Fatal("Emit accepted a message without a failure")
+	}
+	if sink.Appended() != 1 || sink.Dropped() != 1 {
+		t.Fatalf("sink counters: appended=%d dropped=%d", sink.Appended(), sink.Dropped())
+	}
+
+	key := KeyOf(sig)
+	raw, info, err := s.ReadRaw(key, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRaw, _ := ring.Bytes()
+	if !bytes.Equal(raw, wantRaw) {
+		t.Fatal("archived ring bytes differ")
+	}
+	m := info.Meta
+	if m.App != "kv" || m.Machine != 4 || m.Version != 2 || m.Seed != 1234 || m.Instrs != 5678 {
+		t.Fatalf("archived meta = %+v", m)
+	}
+
+	// Closed store: the sink reports the drop instead of erroring out.
+	s.Close()
+	if sink.Emit(msg) {
+		t.Fatal("Emit accepted after store close")
+	}
+}
+
+// TestConcurrentAppendRead exercises concurrent appends, streaming
+// reads, and compaction under the race detector.
+func TestConcurrentAppendRead(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{SegmentBytes: 32 << 10, AutoCompact: true})
+	sigs := []*vm.Failure{testSig("w0", 1), testSig("w1", 2), testSig("w2", 3)}
+	done := make(chan error, len(sigs))
+	for w, sig := range sigs {
+		go func(w int, sig *vm.Failure) {
+			key := KeyOf(sig)
+			for i := 0; i < 20; i++ {
+				raw := makeRaw(int64(60+w), 200, map[int]bool{i: true})
+				seq, err := s.Append(sig, Meta{Seed: int64(i)}, raw)
+				if err != nil {
+					done <- err
+					return
+				}
+				r, err := s.OpenEvents(key, seq)
+				if err != nil {
+					done <- err
+					return
+				}
+				for r.Next() != nil {
+				}
+				if err := r.Err(); err != nil {
+					done <- err
+					return
+				}
+				if i == 10 {
+					s.Retire(key)
+				}
+			}
+			done <- nil
+		}(w, sig)
+	}
+	for range sigs {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	a := testSig("f", 1)
+	b := testSig("f", 1)
+	b.Msg, b.Line, b.Tid = "different message", 99, 7 // not part of the signature
+	if KeyOf(a) != KeyOf(b) {
+		t.Fatal("KeyOf varies on non-signature fields")
+	}
+	for _, diff := range []*vm.Failure{
+		testSig("g", 1),
+		testSig("f", 2),
+		{Kind: vm.FailAbort, Func: "f", InstrID: 1, Stack: []string{"main", "f"}},
+		{Kind: vm.FailNullDeref, Func: "f", InstrID: 1, Stack: []string{"main"}},
+	} {
+		if KeyOf(a) == KeyOf(diff) {
+			t.Fatalf("KeyOf collision with %+v", diff)
+		}
+	}
+}
+
+func TestUntracedRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	sig := testSig("untraced", 13)
+	sink := &ArchiveSink{Store: s}
+	if !sink.Emit(&prod.TraceMsg{App: "x", Failure: sig}) {
+		t.Fatal("Emit rejected an untraced message")
+	}
+	raw, info, err := s.ReadRaw(KeyOf(sig), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 0 || info.RawLen != 0 {
+		t.Fatalf("untraced record has %d raw bytes", len(raw))
+	}
+}
