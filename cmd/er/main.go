@@ -46,7 +46,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: er [-store dir] [-replay-store] [-v] run|reproduce|constraints <prog.minc> [tag=v1,v2,...]...")
+	fmt.Fprintln(os.Stderr, "usage: er [-store dir] [-replay-store] [-lint] [-v] run|reproduce|constraints <prog.minc> [tag=v1,v2,...]...")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -54,6 +54,7 @@ func usage() {
 func main() {
 	storeDir := flag.String("store", "", "archive traces in a persistent store rooted at this directory")
 	replayStore := flag.Bool("replay-store", false, "reproduce from archived records only (requires -store)")
+	lint := flag.Bool("lint", false, "report advisory IR lint findings after compiling")
 	verbose := flag.Bool("v", false, "log ER loop progress to stderr")
 	flag.Usage = usage
 	flag.Parse()
@@ -68,9 +69,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	mod, err := er.Compile(path, string(src))
+	mod, findings, err := er.CompileWithLint(path, string(src))
 	if err != nil {
 		fatal(err)
+	}
+	if *lint {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "er: lint: %s\n", f)
+		}
 	}
 	w := er.NewWorkload()
 	for _, arg := range flag.Args()[2:] {

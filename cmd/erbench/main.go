@@ -22,6 +22,10 @@
 //	          compression over archived reoccurrences, ingest
 //	          throughput, and verdict parity when every trace is read
 //	          back through the store's streaming reader
+//	slice     static failure-slice ablation: full symbolic shepherding
+//	          vs slice-pruned (out-of-slice instructions execute
+//	          natively), comparing symbolic dispatch counts, verdicts,
+//	          and per-iteration recording-site parity
 //	all       everything above
 package main
 
@@ -39,7 +43,7 @@ import (
 var experiments = []string{
 	"fig1", "table1", "offline", "fig5", "fig6", "random",
 	"accuracy", "rept", "mimic", "ablation", "mt", "fleet",
-	"solvecache", "tracestore",
+	"solvecache", "tracestore", "slice",
 }
 
 func validExp(name string) bool {
@@ -278,6 +282,28 @@ func main() {
 			bench.RenderTracestore(out, rows)
 			if !bench.TracestoreParity(rows) {
 				fmt.Fprintln(os.Stderr, "tracestore: verdict parity violated (see table)")
+				ok = false
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	if run("slice") {
+		fmt.Fprintln(out, "== static failure-slice ablation (full vs slice-pruned symbex) ==")
+		opts := bench.SliceOptions{}
+		if *app != "" {
+			opts.Only = []string{*app}
+		}
+		if log != nil {
+			opts.Log = log
+		}
+		r, err := bench.RunSlice(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slice:", err)
+			ok = false
+		} else {
+			bench.RenderSlice(out, r)
+			if !r.AllParity {
+				fmt.Fprintln(os.Stderr, "slice: verdict/recording-site parity violated (see table)")
 				ok = false
 			}
 		}

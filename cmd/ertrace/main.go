@@ -1,37 +1,74 @@
 // Command ertrace records one monitored execution of a minc program
 // and prints the decoded PT-like packet stream — the raw material ER's
-// analysis engine consumes.
+// analysis engine consumes. It also exposes the static analyses:
+// -lint reports IR lint findings, and -dump-cfg renders each
+// function's control-flow graph (with dominator-tree edges) as
+// Graphviz DOT instead of running the program.
 //
 // Usage:
 //
-//	ertrace prog.minc [tag=v1,v2,...]...
+//	ertrace [-lint] [-dump-cfg] prog.minc [tag=v1,v2,...]...
+//
+// Flags:
+//
+//	-lint      print advisory lint findings (dead stores, width
+//	           inconsistencies) to stderr after compiling.
+//	-dump-cfg  write every function's CFG as Graphviz DOT to stdout
+//	           and exit without executing the program. Solid edges are
+//	           control flow (T/F-labelled for conditional branches);
+//	           dashed blue edges are the dominator tree.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
 	"execrecon"
+	"execrecon/internal/dataflow"
 	"execrecon/internal/pt"
 )
 
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ertrace [-lint] [-dump-cfg] <prog.minc> [tag=v1,v2,...]...")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: ertrace <prog.minc> [tag=v1,v2,...]...")
-		os.Exit(2)
+	lint := flag.Bool("lint", false, "print advisory lint findings to stderr")
+	dumpCFG := flag.Bool("dump-cfg", false, "write function CFGs as Graphviz DOT to stdout and exit")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
 	}
-	src, err := os.ReadFile(os.Args[1])
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
 	}
-	mod, err := er.Compile(os.Args[1], string(src))
+	mod, findings, err := er.CompileWithLint(path, string(src))
 	if err != nil {
 		fatal(err)
+	}
+	if *lint {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "ertrace: lint: %s\n", f)
+		}
+	}
+	if *dumpCFG {
+		for _, fn := range mod.Funcs {
+			if err := dataflow.BuildCFG(fn).WriteDOT(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		return
 	}
 	w := er.NewWorkload()
-	for _, arg := range os.Args[2:] {
+	for _, arg := range flag.Args()[1:] {
 		tag, vals, ok := strings.Cut(arg, "=")
 		if !ok {
 			fatal(fmt.Errorf("bad input argument %q", arg))

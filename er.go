@@ -40,6 +40,7 @@ import (
 	"io"
 
 	"execrecon/internal/core"
+	"execrecon/internal/dataflow"
 	"execrecon/internal/fleet"
 	"execrecon/internal/invariants"
 	"execrecon/internal/ir"
@@ -85,6 +86,9 @@ type Options struct {
 	MaxIterations int
 	// RingSize is the trace buffer capacity (default 64 MB).
 	RingSize int
+	// StaticSlice enables failure-slice-pruned symbolic execution and
+	// deducibility-aware recording-set selection (internal/dataflow).
+	StaticSlice bool
 	// Log receives progress lines when set.
 	Log io.Writer
 }
@@ -93,6 +97,19 @@ type Options struct {
 func Compile(name, src string) (*Module, error) {
 	return minc.Compile(name, src)
 }
+
+// Finding is one static-analysis lint finding (internal/dataflow).
+type Finding = dataflow.Finding
+
+// CompileWithLint is Compile plus the advisory IR lint rules (dead
+// stores, cross-block width inconsistencies). The invariant rules
+// (maybe-undef, unreachable-block) are always enforced by Compile.
+func CompileWithLint(name, src string) (*Module, []Finding, error) {
+	return minc.CompileWithLint(name, src)
+}
+
+// Lint runs the full IR lint suite over a compiled module.
+func Lint(mod *Module) []Finding { return dataflow.Lint(mod) }
 
 // NewWorkload returns an empty workload; use Add to fill streams.
 func NewWorkload() *Workload { return vm.NewWorkload() }
@@ -138,6 +155,7 @@ func ReproduceWith(mod *Module, gen Generator, opts Options) (*Report, error) {
 		Symex:         symex.Options{QueryBudget: opts.QueryBudget},
 		MaxIterations: opts.MaxIterations,
 		RingSize:      opts.RingSize,
+		StaticSlice:   opts.StaticSlice,
 		Log:           opts.Log,
 	})
 }
@@ -162,6 +180,7 @@ func ReproduceFrom(mod *Module, src Source, opts Options) (*Report, error) {
 		Symex:         symex.Options{QueryBudget: opts.QueryBudget},
 		MaxIterations: opts.MaxIterations,
 		RingSize:      opts.RingSize,
+		StaticSlice:   opts.StaticSlice,
 		Log:           opts.Log,
 	})
 }

@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"execrecon/internal/apps"
+	"execrecon/internal/core"
+	"execrecon/internal/symex"
+)
+
+// SliceOptions configures the failure-slice ablation.
+type SliceOptions struct {
+	// QueryBudget is the per-query solver budget (0 = bench default).
+	QueryBudget int64
+	// Only restricts the run to the named apps (nil = all).
+	Only []string
+	// Log receives progress lines.
+	Log io.Writer
+}
+
+// SliceRow compares one app's full ER reproduction with every traced
+// instruction dispatched symbolically versus slice-pruned shepherding
+// (instructions outside the static backward failure slice execute
+// natively).
+type SliceRow struct {
+	App string
+
+	// Full (baseline) reproduction: everything symbolic.
+	FullSym        int64
+	FullSymexTime  time.Duration
+	FullOccur      int
+	FullReproduced bool
+	FullVerified   bool
+
+	// Slice-pruned reproduction.
+	SlicedSym        int64
+	SlicedConc       int64
+	SlicedSymexTime  time.Duration
+	SlicedOccur      int
+	SlicedReproduced bool
+	SlicedVerified   bool
+
+	// VerdictMatch: both modes agree on Reproduced and Verified.
+	VerdictMatch bool
+	// SitesMatch: both modes selected identical recording sites in
+	// every stall iteration — the key-selection parity gate (the slice
+	// must change *how* constraints are built, never *which* values
+	// get recorded beyond statically deducible drops; deducible drops
+	// are validated separately by the keyselect tests, so the bench
+	// compares the post-drop sets of the sliced run against the full
+	// run re-filtered the same way — in practice both pipelines run
+	// the same deducibility pass, so the sequences must be equal).
+	SitesMatch bool
+	FailReason string
+}
+
+// SymReduction is the full/sliced symbolic-step ratio — how many times
+// fewer instructions the shepherded interpreter had to dispatch
+// through the symbolic machinery thanks to the slice.
+func (r SliceRow) SymReduction() float64 {
+	if r.SlicedSym <= 0 {
+		return 0
+	}
+	return float64(r.FullSym) / float64(r.SlicedSym)
+}
+
+// ConcPct is the share of the sliced run's shepherded instructions
+// executed natively.
+func (r SliceRow) ConcPct() float64 {
+	total := r.SlicedSym + r.SlicedConc
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.SlicedConc) / float64(total)
+}
+
+// SliceResult aggregates the ablation.
+type SliceResult struct {
+	Rows []SliceRow
+	// TotalFullSym/TotalSlicedSym sum symbolic dispatches across apps.
+	TotalFullSym   int64
+	TotalSlicedSym int64
+	// MeanReduction is the mean of the per-app full/sliced
+	// symbolic-step ratios (the experiment's headline number).
+	MeanReduction float64
+	// AllParity reports whether every app matched verdicts AND
+	// recording-site sequences across the two modes.
+	AllParity bool
+}
+
+// sliceRun drives one full ER reproduction with or without the static
+// failure slice. It mirrors core.Reproduce but keeps hold of the
+// Pipeline, matching the other ablations' structure.
+func sliceRun(a *apps.App, budget int64, staticSlice bool, log io.Writer) (*core.Report, error) {
+	mod, err := a.Module()
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Module:      mod,
+		Symex:       symex.Options{QueryBudget: budget, MaxInstrs: 50_000_000},
+		StaticSlice: staticSlice,
+		Log:         log,
+	}
+	p, err := core.NewPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	src := &core.GenSource{Gen: &core.FixedWorkload{Workload: a.Failing(), Seed: a.Seed}}
+	for !p.Done() {
+		occ, err := src.Next(p.Request())
+		if err != nil {
+			return p.Report(), err
+		}
+		if _, err := p.Feed(occ); err != nil {
+			return p.Report(), err
+		}
+	}
+	return p.Report(), p.Err()
+}
+
+// sameSites reports whether two reproduction reports selected
+// identical recording-site sequences: the same number of stall
+// iterations, and in each, the same sites in the same order.
+func sameSites(a, b *core.Report) bool {
+	var sa, sb [][]symex.SiteKey
+	for _, it := range a.Iterations {
+		if it.Sites != nil {
+			sa = append(sa, it.Sites)
+		}
+	}
+	for _, it := range b.Iterations {
+		if it.Sites != nil {
+			sb = append(sb, it.Sites)
+		}
+	}
+	if len(sa) != len(sb) {
+		return false
+	}
+	for i := range sa {
+		if len(sa[i]) != len(sb[i]) {
+			return false
+		}
+		for j := range sa[i] {
+			if sa[i][j] != sb[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RunSlice reproduces each Table 1 bug twice — full symbolic
+// shepherding, then slice-pruned — and compares symbolic instruction
+// counts, symbex time, reproduction verdicts, and the recording sites
+// each stall iteration selected.
+func RunSlice(opts SliceOptions) (*SliceResult, error) {
+	res := &SliceResult{AllParity: true}
+	var sumRatio float64
+	var nRatio int
+	for _, a := range apps.All() {
+		if len(opts.Only) > 0 && !contains(opts.Only, a.Name) {
+			continue
+		}
+		budget := opts.QueryBudget
+		if budget == 0 {
+			budget = DefaultQueryBudget
+		}
+		row := SliceRow{App: a.Name}
+
+		full, err := sliceRun(a, budget, false, opts.Log)
+		if err != nil && full == nil {
+			row.FailReason = err.Error()
+			res.Rows = append(res.Rows, row)
+			res.AllParity = false
+			continue
+		}
+		row.FullSymexTime = full.TotalSymexTime
+		row.FullOccur = full.Occurrences
+		row.FullReproduced = full.Reproduced
+		row.FullVerified = full.Verified
+		for _, it := range full.Iterations {
+			row.FullSym += it.SymSteps
+		}
+
+		sliced, err := sliceRun(a, budget, true, opts.Log)
+		if err != nil && sliced == nil {
+			row.FailReason = err.Error()
+			res.Rows = append(res.Rows, row)
+			res.AllParity = false
+			continue
+		}
+		row.SlicedSymexTime = sliced.TotalSymexTime
+		row.SlicedOccur = sliced.Occurrences
+		row.SlicedReproduced = sliced.Reproduced
+		row.SlicedVerified = sliced.Verified
+		for _, it := range sliced.Iterations {
+			row.SlicedSym += it.SymSteps
+			row.SlicedConc += it.ConcSteps
+		}
+
+		row.VerdictMatch = row.FullReproduced == row.SlicedReproduced &&
+			row.FullVerified == row.SlicedVerified
+		row.SitesMatch = sameSites(full, sliced)
+		if !row.VerdictMatch || !row.SitesMatch {
+			res.AllParity = false
+		}
+		res.TotalFullSym += row.FullSym
+		res.TotalSlicedSym += row.SlicedSym
+		if r := row.SymReduction(); r > 0 {
+			sumRatio += r
+			nRatio++
+		}
+		res.Rows = append(res.Rows, row)
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "slice: %s full=%d sym, sliced=%d sym + %d conc (%.2fx, %.0f%% native) verdict=%v sites=%v\n",
+				a.Name, row.FullSym, row.SlicedSym, row.SlicedConc,
+				row.SymReduction(), row.ConcPct(), row.VerdictMatch, row.SitesMatch)
+		}
+	}
+	if nRatio > 0 {
+		res.MeanReduction = sumRatio / float64(nRatio)
+	}
+	return res, nil
+}
+
+// RenderSlice prints the ablation in a table plus the aggregate
+// verdict line.
+func RenderSlice(w io.Writer, res *SliceResult) {
+	header := []string{"Application-BugID", "Full Sym", "Sliced Sym", "Native", "Reduction", "Sliced Time", "Verdict", "Sites"}
+	var rows [][]string
+	for _, r := range res.Rows {
+		verdict := "match"
+		if !r.VerdictMatch {
+			verdict = "MISMATCH"
+		}
+		if r.FailReason != "" {
+			verdict = "ERROR: " + r.FailReason
+		}
+		sites := "match"
+		if !r.SitesMatch {
+			sites = "MISMATCH"
+		}
+		rows = append(rows, []string{
+			r.App,
+			fmt.Sprintf("%d", r.FullSym),
+			fmt.Sprintf("%d", r.SlicedSym),
+			fmt.Sprintf("%.0f%%", r.ConcPct()),
+			fmt.Sprintf("%.2fx", r.SymReduction()),
+			r.SlicedSymexTime.Round(time.Microsecond).String(),
+			verdict,
+			sites,
+		})
+	}
+	table(w, header, rows)
+	fmt.Fprintf(w, "\nsymbolic dispatches: full %d vs sliced %d; mean per-app reduction %.2fx; verdict+site parity: %v\n",
+		res.TotalFullSym, res.TotalSlicedSym, res.MeanReduction, res.AllParity)
+}

@@ -92,6 +92,14 @@ type Config struct {
 	// expression nodes before its caches reset (0 = solver default);
 	// only meaningful with IncrementalSolver.
 	SolverMaxSessionNodes int
+	// StaticSlice enables the static dataflow analysis
+	// (internal/dataflow) across the loop: shepherded symbolic
+	// execution prunes instructions outside the backward failure slice
+	// (executing them natively), and key data value selection drops
+	// recording sites a replay can statically deduce from the rest.
+	// The analysis is recomputed for every instrumented deployment.
+	// Overridden by Symex.Slice when the caller injects an analysis.
+	StaticSlice bool
 }
 
 // Iteration reports one pass of the loop.
@@ -111,9 +119,17 @@ type Iteration struct {
 	SolverTime  time.Duration
 	GraphNodes  int
 	SelectTime  time.Duration
+	// SymSteps/ConcSteps split the shepherded instruction count into
+	// fully symbolic dispatches and natively executed (slice-pruned)
+	// ones; without Config.StaticSlice every instruction is symbolic.
+	SymSteps  int64
+	ConcSteps int64
 	// Recording describes what the next deployment will record.
 	RecordingSites int
 	RecordingCost  int64
+	// Sites lists the selected instrumentation sites (stall iterations
+	// only) — the recording set the ablations compare across modes.
+	Sites []symex.SiteKey
 }
 
 // Report is the outcome of a reproduction session.

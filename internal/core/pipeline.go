@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"execrecon/internal/dataflow"
 	"execrecon/internal/ir"
 	"execrecon/internal/keyselect"
 	"execrecon/internal/pt"
@@ -34,7 +35,11 @@ type Pipeline struct {
 	// Config.IncrementalSolver is set). Constraint sets differ across
 	// iterations — the session's assumption-based queries make that
 	// sound without any invalidation bookkeeping.
-	session   *solver.Incremental
+	session *solver.Incremental
+	// an is the static dataflow analysis of the deployed module,
+	// recomputed on every re-instrumentation (nil unless
+	// Config.StaticSlice is set).
+	an        *dataflow.Analysis
 	signature *vm.Failure
 	seed      int64 // verification seed (from the first occurrence)
 	haveSeed  bool
@@ -71,6 +76,9 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		deployed:  cfg.Module,
 		rep:       &Report{},
 		deferLeft: cfg.DeferTracing,
+	}
+	if cfg.StaticSlice {
+		p.an = dataflow.Analyze(cfg.Module)
 	}
 	if cfg.IncrementalSolver && cfg.Symex.Solver == nil {
 		// Validate is off to match the engine's fresh-per-query solver
@@ -190,6 +198,9 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 	if sxOpts.Solver == nil && p.session != nil {
 		sxOpts.Solver = p.session
 	}
+	if sxOpts.Slice == nil && p.an != nil {
+		sxOpts.Slice = p.an
+	}
 	var src pt.EventSource
 	if occ.Trace != nil {
 		it.TraceEvents = len(occ.Trace.Events)
@@ -213,6 +224,8 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 	it.SolverSteps = sres.Stats.SolverSteps
 	it.SolverTime = sres.Stats.SolverTime
 	it.GraphNodes = sres.Stats.GraphNodes
+	it.SymSteps = sres.Stats.SymSteps
+	it.ConcSteps = sres.Stats.ConcSteps
 	p.rep.TotalSymexTime += sres.Stats.Elapsed
 	p.rep.TotalSolverTime += sres.Stats.SolverTime
 
@@ -240,7 +253,7 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 			sites, cost, err = randomSelection(sres, p.cfg.RandomSeed+int64(p.iters))
 		} else {
 			var sel *keyselect.Selection
-			sel, err = keyselect.Select(sres)
+			sel, err = keyselect.SelectWith(sres, keyselect.Options{Static: p.an})
 			if err == nil {
 				sites, cost = sel.Sites, sel.TotalCostBytes
 			}
@@ -252,6 +265,7 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 		}
 		it.RecordingSites = len(sites)
 		it.RecordingCost = cost
+		it.Sites = sites
 		p.rep.Iterations = append(p.rep.Iterations, it)
 		instrumented, err := keyselect.Instrument(p.deployed, sites)
 		if err != nil {
@@ -262,6 +276,9 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 		}
 		p.deployed = instrumented
 		p.version++
+		if p.cfg.StaticSlice {
+			p.an = dataflow.Analyze(instrumented)
+		}
 		p.cfg.logf("iteration %d: instrumenting %d site(s), cost %d bytes/occurrence",
 			p.iters+1, len(sites), cost)
 		p.iters++

@@ -1,0 +1,109 @@
+package dataflow
+
+import "execrecon/internal/ir"
+
+// WritesReg reports whether in defines its Dst register.
+func WritesReg(in *ir.Instr) bool { return writesReg(in) }
+
+// Deducibility answers replay-time deducibility queries over a module
+// analysis: can the value defined at an instruction be recomputed by a
+// shepherded replay from a given set of recorded sites?
+//
+// A site is deducible when its instruction is a pure register
+// computation and every reaching definition of every register operand
+// is either itself recorded or (recursively) deducible. The chains
+// bottom out at operand-free pure ops — constants, global and frame
+// addresses, function addresses — all of which shepherded execution
+// recomputes exactly (control flow and frame objects are supplied by
+// the trace). Loads, inputs, calls, and allocations are never
+// deducible: their values depend on state the static analysis cannot
+// see. Cycles through loop-carried definitions are conservatively
+// non-deducible.
+//
+// internal/keyselect uses this to prune recording sets: a bottleneck
+// element whose site is deducible from the other recorded sites costs
+// trace bandwidth without adding information.
+type Deducibility struct {
+	a  *Analysis
+	du map[string]*DefUse
+}
+
+// NewDeducibility prepares deducibility queries over a.
+func NewDeducibility(a *Analysis) *Deducibility {
+	return &Deducibility{a: a, du: make(map[string]*DefUse)}
+}
+
+func (d *Deducibility) defuse(fa *FuncAnalysis) *DefUse {
+	du, ok := d.du[fa.F.Name]
+	if !ok {
+		du = BuildDefUse(fa.CFG)
+		d.du[fa.F.Name] = du
+	}
+	return du
+}
+
+type dedKey struct {
+	fn string
+	id int32
+}
+
+// Deducible reports whether the value defined at instruction instrID
+// of function fn can be statically deduced from the sites for which
+// recorded returns true.
+func (d *Deducibility) Deducible(fn string, instrID int32, recorded func(fn string, instrID int32) bool) bool {
+	return d.deducible(fn, instrID, recorded, make(map[dedKey]int))
+}
+
+// deducible is the memoized recursion. state: 1 = in progress (a cycle
+// — conservatively not deducible), 2 = deducible, 3 = not.
+func (d *Deducibility) deducible(fn string, id int32, recorded func(string, int32) bool, state map[dedKey]int) bool {
+	key := dedKey{fn, id}
+	switch state[key] {
+	case 1, 3:
+		return false
+	case 2:
+		return true
+	}
+	state[key] = 1
+	ok := d.deducibleUncached(fn, id, recorded, state)
+	if ok {
+		state[key] = 2
+	} else {
+		state[key] = 3
+	}
+	return ok
+}
+
+func (d *Deducibility) deducibleUncached(fn string, id int32, recorded func(string, int32) bool, state map[dedKey]int) bool {
+	fa := d.a.Func(fn)
+	if fa == nil {
+		return false
+	}
+	bi, ii := fa.F.FindInstrByID(id)
+	if bi < 0 || !fa.CFG.Reachable[bi] {
+		return false
+	}
+	in := &fa.F.Blocks[bi].Instrs[ii]
+	if !pureOp(in.Op) {
+		return false
+	}
+	du := d.defuse(fa)
+	for _, reg := range readsOf(in, nil) {
+		defs := du.ReachingDefs(bi, ii, reg)
+		if len(defs) == 0 {
+			// A parameter, or a read before any definition: the value
+			// comes from outside the function's dataflow.
+			return false
+		}
+		for _, di := range defs {
+			def := du.Defs[di]
+			if recorded(fn, def.Instr.ID) {
+				continue
+			}
+			if !d.deducible(fn, def.Instr.ID, recorded, state) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,321 @@
+package dataflow
+
+import "execrecon/internal/ir"
+
+// Taint is the module-wide, flow-insensitive, interprocedural
+// input-taint analysis. A register is tainted when its value may
+// depend on an OpInput value; taint flows through arithmetic, through
+// call/return and spawn sites (the minc param/recv sites), and through
+// memory via a conservative alias partition.
+//
+// The partition has one class per global, one class per function frame
+// (all frame slots of all activations of a function share a class),
+// one class per malloc site, and a final TOP class standing for
+// "unknown object" (a pointer whose provenance the analysis lost).
+// Stores through a TOP pointer conservatively taint every class.
+//
+// The analysis is deliberately an over-approximation: internal/symex
+// uses "untainted" only as a licence to try concrete evaluation, with
+// a runtime fallback to the full symbolic path, so imprecision costs
+// speed, never soundness.
+type Taint struct {
+	Mod *ir.Module
+
+	// NumClasses counts alias classes; Top is the index of the TOP
+	// class (always NumClasses-1).
+	NumClasses int
+	Top        int
+
+	numGlobals int
+	mallocCls  map[siteKey]int
+
+	// ClassTaint marks classes whose memory may hold input-derived
+	// bytes. ClassSymSize marks malloc-site classes whose allocation
+	// size may be input-derived (their bounds checks are symbolic).
+	ClassTaint   []bool
+	ClassSymSize []bool
+	classPts     []bitset // class -> classes its memory may point to
+
+	// RegTaint[fi][r] reports whether register r of function fi may be
+	// input-derived at some program point. RetTaint[fi] likewise for
+	// the function's return value.
+	RegTaint [][]bool
+	RetTaint []bool
+
+	regPts [][]bitset // per func, per reg: classes the reg may point to
+	retPts []bitset
+
+	// AddrTaken lists the indices of functions whose address is taken
+	// (OpFuncAddr); indirect calls conservatively target all of them.
+	AddrTaken []int
+}
+
+type siteKey struct{ fn, blk, ii int }
+
+// GlobalClass returns the alias class of global gi.
+func (t *Taint) GlobalClass(gi int) int { return gi }
+
+// FrameClass returns the alias class of function fi's frame.
+func (t *Taint) FrameClass(fi int) int { return t.numGlobals + fi }
+
+// MallocClass returns the alias class of the malloc at (fn, blk, ii),
+// or -1 if that instruction is not a malloc.
+func (t *Taint) MallocClass(fn, blk, ii int) int {
+	if c, ok := t.mallocCls[siteKey{fn, blk, ii}]; ok {
+		return c
+	}
+	return -1
+}
+
+// Tainted reports whether operand a of function fi may be
+// input-derived. Immediates never are.
+func (t *Taint) Tainted(fi int, a ir.Arg) bool {
+	return a.K == ir.ArgReg && t.RegTaint[fi][a.Reg]
+}
+
+// BuildTaint runs the fixpoint over mod.
+func BuildTaint(mod *ir.Module) *Taint {
+	t := &Taint{Mod: mod, mallocCls: make(map[siteKey]int)}
+	t.numGlobals = len(mod.Globals)
+	cls := t.numGlobals + len(mod.Funcs)
+	seen := make(map[int]bool)
+	for fi, f := range mod.Funcs {
+		for bi, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Op == ir.OpMalloc {
+					t.mallocCls[siteKey{fi, bi, ii}] = cls
+					cls++
+				}
+				if in.Op == ir.OpFuncAddr {
+					if gi := mod.FuncIndex(in.Tag); gi >= 0 && !seen[gi] {
+						seen[gi] = true
+						t.AddrTaken = append(t.AddrTaken, gi)
+					}
+				}
+			}
+		}
+	}
+	t.Top = cls
+	t.NumClasses = cls + 1
+	t.ClassTaint = make([]bool, t.NumClasses)
+	t.ClassSymSize = make([]bool, t.NumClasses)
+	t.classPts = make([]bitset, t.NumClasses)
+	for c := range t.classPts {
+		t.classPts[c] = newBitset(t.NumClasses)
+	}
+	t.RegTaint = make([][]bool, len(mod.Funcs))
+	t.RetTaint = make([]bool, len(mod.Funcs))
+	t.regPts = make([][]bitset, len(mod.Funcs))
+	t.retPts = make([]bitset, len(mod.Funcs))
+	for fi, f := range mod.Funcs {
+		t.RegTaint[fi] = make([]bool, f.NumRegs)
+		t.regPts[fi] = make([]bitset, f.NumRegs)
+		for r := range t.regPts[fi] {
+			t.regPts[fi][r] = newBitset(t.NumClasses)
+		}
+		t.retPts[fi] = newBitset(t.NumClasses)
+	}
+	for changed := true; changed; {
+		changed = false
+		for fi, f := range mod.Funcs {
+			for bi, b := range f.Blocks {
+				for ii := range b.Instrs {
+					if t.transfer(fi, bi, ii, &b.Instrs[ii]) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return t
+}
+
+// ptsOf returns the points-to set of operand a in function fi, or nil
+// for immediates.
+func (t *Taint) ptsOf(fi int, a ir.Arg) bitset {
+	if a.K != ir.ArgReg {
+		return nil
+	}
+	return t.regPts[fi][a.Reg]
+}
+
+// setTaint marks register r of fi tainted, reporting change.
+func (t *Taint) setTaint(fi, r int, v bool) bool {
+	if !v || t.RegTaint[fi][r] {
+		return false
+	}
+	t.RegTaint[fi][r] = true
+	return true
+}
+
+// addrClasses materialises the target classes of an address operand:
+// its points-to set, or {TOP} when the analysis has no provenance.
+func (t *Taint) addrClasses(fi int, a ir.Arg, out []int) []int {
+	s := t.ptsOf(fi, a)
+	empty := true
+	if s != nil {
+		for c := 0; c < t.NumClasses; c++ {
+			if s.get(c) {
+				out = append(out, c)
+				empty = false
+			}
+		}
+	}
+	if empty {
+		out = append(out, t.Top)
+	}
+	return out
+}
+
+// transfer applies one instruction's taint/points-to effect, reporting
+// whether anything changed.
+func (t *Taint) transfer(fi, bi, ii int, in *ir.Instr) bool {
+	mod := t.Mod
+	changed := false
+	propTo := func(dst int, args ...ir.Arg) {
+		for _, a := range args {
+			if a.K != ir.ArgReg {
+				continue
+			}
+			if t.setTaint(fi, dst, t.RegTaint[fi][a.Reg]) {
+				changed = true
+			}
+			if t.regPts[fi][dst].or(t.regPts[fi][a.Reg]) {
+				changed = true
+			}
+		}
+	}
+	callInto := func(gi int, args []ir.Arg) {
+		g := mod.Funcs[gi]
+		for i, a := range args {
+			if i >= g.NParams || a.K != ir.ArgReg {
+				continue
+			}
+			if t.setTaint(gi, i, t.RegTaint[fi][a.Reg]) {
+				changed = true
+			}
+			if t.regPts[gi][i].or(t.regPts[fi][a.Reg]) {
+				changed = true
+			}
+		}
+	}
+	retOut := func(dst, gi int) {
+		if t.setTaint(fi, dst, t.RetTaint[gi]) {
+			changed = true
+		}
+		if t.regPts[fi][dst].or(t.retPts[gi]) {
+			changed = true
+		}
+	}
+
+	switch in.Op {
+	case ir.OpInput:
+		changed = t.setTaint(fi, in.Dst, true)
+	case ir.OpConst, ir.OpFuncAddr:
+		// Untainted, no provenance.
+	case ir.OpFrame:
+		c := t.FrameClass(fi)
+		if !t.regPts[fi][in.Dst].get(c) {
+			t.regPts[fi][in.Dst].set(c)
+			changed = true
+		}
+	case ir.OpGlobal:
+		c := t.GlobalClass(int(in.A.Imm))
+		if c >= t.numGlobals {
+			c = t.Top
+		}
+		if !t.regPts[fi][in.Dst].get(c) {
+			t.regPts[fi][in.Dst].set(c)
+			changed = true
+		}
+	case ir.OpMalloc:
+		c := t.mallocCls[siteKey{fi, bi, ii}]
+		if !t.regPts[fi][in.Dst].get(c) {
+			t.regPts[fi][in.Dst].set(c)
+			changed = true
+		}
+		if t.Tainted(fi, in.A) && !t.ClassSymSize[c] {
+			t.ClassSymSize[c] = true
+			changed = true
+		}
+	case ir.OpMov, ir.OpZext, ir.OpSext, ir.OpTrunc:
+		propTo(in.Dst, in.A)
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpUDiv, ir.OpURem, ir.OpSDiv,
+		ir.OpSRem, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr,
+		ir.OpAShr, ir.OpEq, ir.OpNe, ir.OpUlt, ir.OpUle, ir.OpSlt, ir.OpSle:
+		propTo(in.Dst, in.A, in.B)
+	case ir.OpLoad:
+		var buf [8]int
+		for _, c := range t.addrClasses(fi, in.A, buf[:0]) {
+			v := t.ClassTaint[c] || c == t.Top
+			if t.setTaint(fi, in.Dst, v) {
+				changed = true
+			}
+			if t.regPts[fi][in.Dst].or(t.classPts[c]) {
+				changed = true
+			}
+			if c == t.Top && !t.regPts[fi][in.Dst].get(t.Top) {
+				t.regPts[fi][in.Dst].set(t.Top)
+				changed = true
+			}
+		}
+		if t.setTaint(fi, in.Dst, t.Tainted(fi, in.A)) {
+			changed = true
+		}
+	case ir.OpStore:
+		vt := t.Tainted(fi, in.B)
+		vp := t.ptsOf(fi, in.B)
+		storeTo := func(c int) {
+			if vt && !t.ClassTaint[c] {
+				t.ClassTaint[c] = true
+				changed = true
+			}
+			if vp != nil && t.classPts[c].or(vp) {
+				changed = true
+			}
+		}
+		var buf [8]int
+		for _, c := range t.addrClasses(fi, in.A, buf[:0]) {
+			if c == t.Top {
+				// Unknown target: the store may hit anything.
+				for all := 0; all < t.NumClasses; all++ {
+					storeTo(all)
+				}
+				break
+			}
+			storeTo(c)
+		}
+	case ir.OpCall:
+		if gi := mod.FuncIndex(in.Tag); gi >= 0 {
+			callInto(gi, in.Args)
+			retOut(in.Dst, gi)
+		} else {
+			changed = t.setTaint(fi, in.Dst, true) || changed
+		}
+	case ir.OpICall:
+		for _, gi := range t.AddrTaken {
+			callInto(gi, in.Args)
+			retOut(in.Dst, gi)
+		}
+		if len(t.AddrTaken) == 0 {
+			changed = t.setTaint(fi, in.Dst, true) || changed
+		}
+	case ir.OpSpawn:
+		if gi := mod.FuncIndex(in.Tag); gi >= 0 {
+			callInto(gi, []ir.Arg{in.A})
+		}
+		// The thread id itself is never input-derived.
+	case ir.OpRet:
+		if in.A.K == ir.ArgReg {
+			if !t.RetTaint[fi] && t.RegTaint[fi][in.A.Reg] {
+				t.RetTaint[fi] = true
+				changed = true
+			}
+			if t.retPts[fi].or(t.regPts[fi][in.A.Reg]) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}

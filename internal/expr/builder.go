@@ -216,9 +216,19 @@ func binWidthCheck(op Kind, x, y *Expr) {
 	}
 }
 
-// commutative normalization: order operands by id so a+b and b+a
-// intern to the same node.
+// commutative normalization: constants go on the right, otherwise
+// operands are ordered by id, so a+b and b+a intern to the same node.
+// Keeping constants out of the id ordering makes the canonical form
+// independent of node creation order: a constant's id depends on when
+// it was first interned, which varies between otherwise identical
+// symbolic runs (e.g. full vs slice-pruned shepherding).
 func orderComm(x, y *Expr) (*Expr, *Expr) {
+	if x.IsConst() && !y.IsConst() {
+		return y, x
+	}
+	if y.IsConst() && !x.IsConst() {
+		return x, y
+	}
 	if x.id > y.id {
 		return y, x
 	}

@@ -1,0 +1,51 @@
+package keyselect
+
+import (
+	"testing"
+
+	"execrecon/internal/dataflow"
+	"execrecon/internal/ir"
+	"execrecon/internal/symex"
+)
+
+// TestDropDeducible exercises the static deducibility pruning on a
+// hand-built recording set: a pure derived value whose chain bottoms
+// out at another recorded site is dropped; the root survives.
+func TestDropDeducible(t *testing.T) {
+	f := &ir.Func{Name: "main", NumRegs: 4}
+	f.Blocks = []*ir.Block{{Index: 0, Instrs: []ir.Instr{
+		{Op: ir.OpInput, W: ir.W32, Dst: 1, Tag: "x"},
+		{Op: ir.OpMul, W: ir.W32, Dst: 2, A: ir.Reg(1), B: ir.Imm(3)},
+		{Op: ir.OpAdd, W: ir.W32, Dst: 3, A: ir.Reg(2), B: ir.Imm(7)},
+		{Op: ir.OpAssert, A: ir.Reg(3)},
+		{Op: ir.OpRet, A: ir.Imm(0)},
+	}}}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			b.Instrs[i].ID = f.NewInstrID()
+		}
+	}
+	m := &ir.Module{Name: "t"}
+	m.AddFunc(f)
+	a := dataflow.Analyze(m)
+
+	inputID := f.Blocks[0].Instrs[0].ID
+	addID := f.Blocks[0].Instrs[2].ID
+	rec := []Element{
+		{Site: symex.SiteKey{Func: "main", InstrID: inputID}, CostBytes: 40, Width: ir.W32},
+		{Site: symex.SiteKey{Func: "main", InstrID: addID}, CostBytes: 400, Width: ir.W32},
+	}
+	kept := dropDeducible(rec, a)
+	if len(kept) != 1 {
+		t.Fatalf("kept %d elements, want 1: %+v", len(kept), kept)
+	}
+	if kept[0].Site.InstrID != inputID {
+		t.Errorf("kept site #%d, want the input site #%d", kept[0].Site.InstrID, inputID)
+	}
+
+	// A lone site always survives, deducible or not.
+	solo := []Element{{Site: symex.SiteKey{Func: "main", InstrID: addID}, CostBytes: 400, Width: ir.W32}}
+	if got := dropDeducible(solo, a); len(got) != 1 {
+		t.Fatalf("lone element dropped: %+v", got)
+	}
+}

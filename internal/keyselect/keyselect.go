@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"execrecon/internal/cgraph"
+	"execrecon/internal/dataflow"
 	"execrecon/internal/expr"
 	"execrecon/internal/ir"
 	"execrecon/internal/symex"
@@ -38,8 +39,11 @@ type Selection struct {
 	Sites []symex.SiteKey
 	// TotalCostBytes is the summed recording cost.
 	TotalCostBytes int64
-	GraphNodes     int
-	Elapsed        time.Duration
+	// DroppedDeducible counts recording elements removed by the static
+	// deducibility pass (Options.Static).
+	DroppedDeducible int
+	GraphNodes       int
+	Elapsed          time.Duration
 }
 
 const infCost = int64(1) << 60
@@ -56,6 +60,13 @@ type Options struct {
 	// raw bottleneck set directly (the "naive strategy" the paper
 	// rejects for its overhead).
 	NoMinimize bool
+
+	// Static, when non-nil, is the module's static dataflow analysis.
+	// After minimization, recording elements whose defining sites a
+	// shepherded replay can statically recompute from the remaining
+	// recorded sites (dataflow.Deducibility) are dropped: recording
+	// them costs trace bandwidth without adding information.
+	Static *dataflow.Analysis
 }
 
 // SelectWith is Select with explicit options.
@@ -105,6 +116,11 @@ func SelectWith(res *symex.Result, opts Options) (*Selection, error) {
 	if len(recording) == 0 {
 		return nil, fmt.Errorf("keyselect: no recordable elements for bottleneck set of %d", len(bottleneck))
 	}
+	if opts.Static != nil {
+		kept := dropDeducible(recording, opts.Static)
+		sel.DroppedDeducible = len(recording) - len(kept)
+		recording = kept
+	}
 
 	siteSeen := make(map[symex.SiteKey]bool)
 	for _, el := range recording {
@@ -124,6 +140,66 @@ func SelectWith(res *symex.Result, opts Options) (*Selection, error) {
 	})
 	sel.Elapsed = time.Since(start)
 	return sel, nil
+}
+
+// dropDeducible removes recording elements whose sites are statically
+// deducible from the sites that remain recorded. Elements are
+// considered at site granularity (co-sited elements share one ptwrite)
+// in descending cost order, so the most expensive redundant sites drop
+// first; at least one site always survives.
+func dropDeducible(rec []Element, a *dataflow.Analysis) []Element {
+	if len(rec) <= 1 {
+		return rec
+	}
+	ded := dataflow.NewDeducibility(a)
+
+	type site = symex.SiteKey
+	cost := make(map[site]int64)
+	for _, el := range rec {
+		cost[el.Site] += el.CostBytes
+	}
+	sites := make([]site, 0, len(cost))
+	for s := range cost {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		a, b := sites[i], sites[j]
+		if cost[a] != cost[b] {
+			return cost[a] > cost[b]
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.InstrID < b.InstrID
+	})
+
+	kept := make(map[site]bool, len(sites))
+	for _, s := range sites {
+		kept[s] = true
+	}
+	for _, s := range sites {
+		if len(kept) == 1 {
+			break
+		}
+		if !kept[s] {
+			continue
+		}
+		delete(kept, s) // test s against the others
+		recorded := func(fn string, id int32) bool {
+			return kept[site{Func: fn, InstrID: id}]
+		}
+		if !ded.Deducible(s.Func, s.InstrID, recorded) {
+			kept[s] = true
+		}
+	}
+
+	out := rec[:0]
+	for _, el := range rec {
+		if kept[el.Site] {
+			out = append(out, el)
+		}
+	}
+	return out
 }
 
 type selector struct {
@@ -309,8 +385,16 @@ func (s *selector) supp(n *expr.Expr, known map[*expr.Expr]bool, memo map[*expr.
 // Instrument returns a clone of mod with a ptwrite inserted after
 // every selected site (§3.3.3). Instruction IDs of existing
 // instructions are preserved; the inserted ptwrites receive fresh IDs.
+//
+// Placements are validated against the control-flow graph: a site must
+// name a value-producing instruction in a block that is reachable from
+// — and hence dominated by — the function entry. An unreachable or
+// non-defining site would emit a ptwrite that the traced run never
+// executes (or that records garbage), desynchronizing event matching
+// in the next shepherded run.
 func Instrument(mod *ir.Module, sites []symex.SiteKey) (*ir.Module, error) {
 	nm := mod.Clone()
+	cfgs := make(map[*ir.Func]*dataflow.CFG)
 	for _, site := range sites {
 		fn := nm.FuncByName(site.Func)
 		if fn == nil {
@@ -320,10 +404,21 @@ func Instrument(mod *ir.Module, sites []symex.SiteKey) (*ir.Module, error) {
 		if bi < 0 {
 			return nil, fmt.Errorf("keyselect: site %s#%d not found", site.Func, site.InstrID)
 		}
+		cfg := cfgs[fn]
+		if cfg == nil {
+			cfg = dataflow.BuildCFG(fn)
+			cfgs[fn] = cfg
+		}
+		if !cfg.Reachable[bi] || !cfg.Dominates(0, bi) {
+			return nil, fmt.Errorf("keyselect: site %s#%d is in unreachable block b%d", site.Func, site.InstrID, bi)
+		}
 		blk := fn.Blocks[bi]
 		orig := blk.Instrs[ii]
 		if orig.Op.IsTerminator() {
 			return nil, fmt.Errorf("keyselect: site %s#%d is a terminator", site.Func, site.InstrID)
+		}
+		if !dataflow.WritesReg(&orig) {
+			return nil, fmt.Errorf("keyselect: site %s#%d (%s) defines no register", site.Func, site.InstrID, orig.Op)
 		}
 		ptw := ir.Instr{
 			Op:   ir.OpPtWrite,

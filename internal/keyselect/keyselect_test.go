@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"execrecon/internal/dataflow"
 	"execrecon/internal/ir"
 	"execrecon/internal/keyselect"
 	"execrecon/internal/minc"
@@ -196,5 +197,95 @@ func TestRecordedValuesUnblock(t *testing.T) {
 	rerun := vm.New(mod, vm.Config{Input: sres2.TestCase.Clone(), Seed: 1}).Run("main")
 	if rerun.Failure == nil || !rerun.Failure.SameSignature(res.Failure) {
 		t.Errorf("generated test case does not reproduce: %v", rerun.Failure)
+	}
+}
+
+// TestStaticSelectionStillUnblocks: the static deducibility pass must
+// not drop sites the next iteration needs — the instrumented rerun has
+// to complete just as it does without the pass.
+func TestStaticSelectionStillUnblocks(t *testing.T) {
+	mod, sres := stalledRun(t)
+	sel, err := keyselect.SelectWith(sres, keyselect.Options{Static: dataflow.Analyze(mod)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Recording) == 0 || len(sel.Sites) == 0 {
+		t.Fatal("static pass emptied the selection")
+	}
+	t.Logf("dropped %d deducible elements, %d sites kept", sel.DroppedDeducible, len(sel.Sites))
+	instr, err := keyselect.Instrument(mod, sel.Sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := vm.NewWorkload().Add("k", 62, 61, 60, 200, 200, 200, 200, 200, 200, 200)
+	ring := pt.NewRing(1 << 22)
+	enc := pt.NewEncoder(ring)
+	res := vm.New(instr, vm.Config{Input: w, Tracer: enc, Seed: 1}).Run("main")
+	enc.Finish()
+	tr, err := pt.Decode(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres2 := symex.New(instr, tr, res.Failure, symex.Options{QueryBudget: 20_000}).Run("main")
+	if sres2.Status != symex.StatusCompleted {
+		t.Fatalf("instrumented run did not complete: %v (%s)", sres2.Status, sres2.StallReason)
+	}
+}
+
+// TestStaticNeverCostsMore: dropping deducible sites can only shrink
+// the recorded byte count.
+func TestStaticNeverCostsMore(t *testing.T) {
+	mod, sres := stalledRun(t)
+	base, err := keyselect.SelectWith(sres, keyselect.Options{NoMinimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat, err := keyselect.SelectWith(sres, keyselect.Options{NoMinimize: true, Static: dataflow.Analyze(mod)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.TotalCostBytes > base.TotalCostBytes {
+		t.Errorf("static pass increased cost: %d > %d", stat.TotalCostBytes, base.TotalCostBytes)
+	}
+	if len(stat.Sites) > len(base.Sites) {
+		t.Errorf("static pass added sites: %d > %d", len(stat.Sites), len(base.Sites))
+	}
+}
+
+// handMod builds a module with one unreachable block and one
+// non-defining instruction, for Instrument placement validation.
+func handMod(t *testing.T) (*ir.Module, int32, int32) {
+	t.Helper()
+	f := &ir.Func{Name: "main", NumRegs: 3}
+	f.Blocks = []*ir.Block{
+		{Index: 0, Instrs: []ir.Instr{
+			{Op: ir.OpConst, W: ir.W32, Dst: 1, A: ir.Imm(1)},
+			{Op: ir.OpOutput, A: ir.Reg(1)},
+			{Op: ir.OpRet, A: ir.Imm(0)},
+		}},
+		{Index: 1, Instrs: []ir.Instr{ // unreachable
+			{Op: ir.OpConst, W: ir.W32, Dst: 2, A: ir.Imm(2)},
+			{Op: ir.OpBr, Blk: 0},
+		}},
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			b.Instrs[i].ID = f.NewInstrID()
+		}
+	}
+	m := &ir.Module{Name: "t"}
+	m.AddFunc(f)
+	outputID := f.Blocks[0].Instrs[1].ID
+	deadID := f.Blocks[1].Instrs[0].ID
+	return m, outputID, deadID
+}
+
+func TestInstrumentRejectsInvalidPlacement(t *testing.T) {
+	m, outputID, deadID := handMod(t)
+	if _, err := keyselect.Instrument(m, []symex.SiteKey{{Func: "main", InstrID: outputID}}); err == nil {
+		t.Error("expected error for a site that defines no register")
+	}
+	if _, err := keyselect.Instrument(m, []symex.SiteKey{{Func: "main", InstrID: deadID}}); err == nil {
+		t.Error("expected error for a site in an unreachable block")
 	}
 }

@@ -3,24 +3,110 @@ package minc
 import (
 	"fmt"
 
+	"execrecon/internal/dataflow"
 	"execrecon/internal/ir"
 )
 
 // Compile parses, type-checks, and lowers a minc program to an ir
-// module. The module is validated before being returned.
+// module. The module is validated, and the codegen-invariant lint
+// rules (maybe-undef, unreachable-block) are enforced, before it is
+// returned: lowering zero-initializes every register local and prunes
+// the dead blocks its statement emitter creates, so a violation is a
+// compiler bug, not a property of the user program.
 func Compile(name, src string) (*ir.Module, error) {
+	mod, _, err := compile(name, src)
+	return mod, err
+}
+
+// CompileWithLint is Compile plus the advisory lint rules: dead stores
+// and cross-block width inconsistencies are reported as findings
+// rather than errors, since both describe suspicious but executable
+// programs.
+func CompileWithLint(name, src string) (*ir.Module, []dataflow.Finding, error) {
+	return compile(name, src)
+}
+
+func compile(name, src string) (*ir.Module, []dataflow.Finding, error) {
 	prog, err := parse(src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	c := &compiler{mod: &ir.Module{Name: name}, prog: prog}
 	if err := c.run(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := c.mod.Validate(); err != nil {
-		return nil, fmt.Errorf("minc: internal error: %w", err)
+		return nil, nil, fmt.Errorf("minc: internal error: %w", err)
 	}
-	return c.mod, nil
+	var advisory []dataflow.Finding
+	for _, f := range dataflow.Lint(c.mod) {
+		switch f.Rule {
+		case dataflow.RuleMaybeUndef, dataflow.RuleUnreachable:
+			return nil, nil, fmt.Errorf("minc: internal error: %s", f)
+		default:
+			advisory = append(advisory, f)
+		}
+	}
+	return c.mod, advisory, nil
+}
+
+// pruneUnreachable removes blocks no path from the entry reaches and
+// renumbers the survivors. The statement emitter deliberately parks
+// code that follows a terminator in fresh dead blocks (see emit);
+// this pass drops them so the shipped module satisfies the
+// unreachable-block lint invariant. Instruction IDs are untouched.
+func pruneUnreachable(f *ir.Func) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	reach := make([]bool, len(f.Blocks))
+	work := []int{0}
+	reach[0] = true
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		t := f.Blocks[b].Term()
+		if t == nil {
+			continue
+		}
+		visit := func(s int) {
+			if s >= 0 && s < len(f.Blocks) && !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+		switch t.Op {
+		case ir.OpBr:
+			visit(t.Blk)
+		case ir.OpCondBr:
+			visit(t.Blk)
+			visit(t.Blk2)
+		}
+	}
+	remap := make([]int, len(f.Blocks))
+	kept := f.Blocks[:0]
+	for i, b := range f.Blocks {
+		if !reach[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(kept)
+		b.Index = len(kept)
+		kept = append(kept, b)
+	}
+	f.Blocks = kept
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		if t.Op == ir.OpBr || t.Op == ir.OpCondBr {
+			t.Blk = remap[t.Blk]
+			if t.Op == ir.OpCondBr {
+				t.Blk2 = remap[t.Blk2]
+			}
+		}
+	}
 }
 
 // symbol binds a name in scope.
@@ -249,6 +335,7 @@ func (c *compiler) compileFunc(f *funcDecl) error {
 		c.emit(ir.Instr{Op: ir.OpRet, A: ir.Imm(0)})
 	}
 	c.popScope()
+	pruneUnreachable(c.fn)
 	// Frame instructions validate against FrameSize; functions with
 	// no frame data keep FrameSize 0 and never emit OpFrame.
 	c.mod.AddFunc(c.fn)

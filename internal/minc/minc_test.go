@@ -3,6 +3,8 @@ package minc
 import (
 	"strings"
 	"testing"
+
+	"execrecon/internal/dataflow"
 )
 
 func compileOK(t *testing.T, src string) {
@@ -209,5 +211,76 @@ func main() int { return fib(10); }`)
 	dump := mod.Dump()
 	if !strings.Contains(dump, "func fib") {
 		t.Errorf("dump missing fib:\n%s", dump)
+	}
+}
+
+func TestPruneUnreachableBlocks(t *testing.T) {
+	// Statements after a return are parked in dead blocks by the
+	// emitter; the prune pass must drop them before the module ships.
+	mod, err := Compile("test", `
+func main() int {
+	int x = input32("x");
+	if (x > 0) {
+		return 1;
+		output(99);
+	}
+	return 0;
+	output(7);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mod.FuncByName("main")
+	c := dataflow.BuildCFG(f)
+	for bi := range f.Blocks {
+		if !c.Reachable[bi] {
+			t.Errorf("block b%d survived pruning unreachable", bi)
+		}
+	}
+	// The dead output(99)/output(7) must be gone entirely.
+	if d := mod.Dump(); strings.Contains(d, "99") {
+		t.Errorf("dead code survived pruning:\n%s", d)
+	}
+}
+
+func TestCompileWithLintDeadStore(t *testing.T) {
+	src := `
+func main() int {
+	int y = input32("y");
+	int x = y + 1;
+	x = 3;
+	output(x);
+	return 0;
+}`
+	mod, findings, err := CompileWithLint("test", src)
+	if err != nil || mod == nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var dead int
+	for _, f := range findings {
+		if f.Rule == dataflow.RuleDeadStore {
+			dead++
+		}
+		if f.Rule == dataflow.RuleMaybeUndef || f.Rule == dataflow.RuleUnreachable {
+			t.Errorf("invariant rule leaked as advisory finding: %v", f)
+		}
+	}
+	if dead == 0 {
+		t.Errorf("expected a dead-store finding, got %v", findings)
+	}
+}
+
+func TestCompileWithLintCleanProgram(t *testing.T) {
+	_, findings, err := CompileWithLint("test", `
+func main() int {
+	int x = input32("x");
+	assert(x != 41, "boom");
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("unexpected findings: %v", findings)
 	}
 }

@@ -74,6 +74,29 @@ func (e *Engine) loadMem(t *sthread, f *sframe, in *ir.Instr) (*expr.Expr, error
 	return e.up(e.readBytes(o, off, nbytes)), nil
 }
 
+// loadMemNoVal performs the address resolution, object check, and
+// bounds semantics of a symbolic load — byte for byte the constraints
+// and divergence checks of loadMem — without materialising the loaded
+// value, because the destination register is statically outside the
+// failure slice. It reports whether the access was fully concrete
+// (no constraints added, no solver involvement).
+func (e *Engine) loadMemNoVal(t *sthread, f *sframe, in *ir.Instr) (bool, error) {
+	addr := e.reg(f, in.A)
+	nbytes := in.W.Bytes()
+	obj, off, err := e.resolveAddr(addr, "load")
+	if err != nil {
+		return false, err
+	}
+	o, err := e.checkObject(obj, "load")
+	if err != nil {
+		return false, err
+	}
+	if err := e.boundsConstraint(o, off, nbytes); err != nil {
+		return false, err
+	}
+	return addr.IsConst() && o.size.IsConst(), nil
+}
+
 // readBytes assembles a little-endian value of nbytes from the
 // object's byte array.
 func (e *Engine) readBytes(o *sobj, off *expr.Expr, nbytes int) *expr.Expr {

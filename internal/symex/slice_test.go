@@ -1,0 +1,194 @@
+package symex_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"execrecon/internal/dataflow"
+	"execrecon/internal/symex"
+	"execrecon/internal/vm"
+)
+
+// runBoth records one failing trace and shepherds it twice — full
+// symbolic stepping and slice-pruned stepping — returning both
+// results.
+func runBoth(t *testing.T, src string, w *vm.Workload, opts symex.Options) (full, sliced *symex.Result) {
+	t.Helper()
+	mod, tr, res := recordRun(t, src, w, 1)
+	if res.Failure == nil {
+		t.Fatal("recorded run did not fail")
+	}
+	full = symex.New(mod, tr, res.Failure, opts).Run("main")
+	sopts := opts
+	sopts.Slice = dataflow.Analyze(mod)
+	sliced = symex.New(mod, tr, res.Failure, sopts).Run("main")
+	return full, sliced
+}
+
+// pcString renders a result's path constraint deterministically.
+func pcString(t *testing.T, r *symex.Result) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.DumpConstraints(&sb); err != nil {
+		t.Fatalf("dump constraints: %v", err)
+	}
+	return sb.String()
+}
+
+// assertParity checks the slice soundness contract: identical status,
+// identical path constraints, and identical recording-site stats.
+func assertParity(t *testing.T, full, sliced *symex.Result) {
+	t.Helper()
+	if full.Status != sliced.Status {
+		t.Fatalf("status: full=%v sliced=%v (sliced err: %v)", full.Status, sliced.Status, sliced.Err)
+	}
+	fpc, spc := pcString(t, full), pcString(t, sliced)
+	if fpc != spc {
+		t.Fatalf("path constraints differ:\n--- full ---\n%s\n--- sliced ---\n%s", fpc, spc)
+	}
+	fs := fmt.Sprintf("%v", sitesOf(full))
+	ss := fmt.Sprintf("%v", sitesOf(sliced))
+	if fs != ss {
+		t.Fatalf("site stats differ:\n  full:   %s\n  sliced: %s", fs, ss)
+	}
+	if full.Stats.Instrs != sliced.Stats.Instrs {
+		t.Fatalf("instruction counts differ: %d vs %d", full.Stats.Instrs, sliced.Stats.Instrs)
+	}
+}
+
+// sitesOf extracts a deterministic view of the per-site dynamic stats.
+func sitesOf(r *symex.Result) map[string]int64 {
+	out := make(map[string]int64, len(r.Sites))
+	for k, st := range r.Sites {
+		out[fmt.Sprintf("%s#%d/%d", k.Func, k.InstrID, st.Width)] = st.Count
+	}
+	return out
+}
+
+func TestSliceParityAssert(t *testing.T) {
+	src := `
+func main() int {
+	int x = input32("req");
+	int y = x * 3 + 7;
+	int noise = 0;
+	for (int i = 0; i < 50; i = i + 1) {
+		noise = noise + i * i;
+	}
+	output(noise);
+	assert(y != 37, "boom");
+	return 0;
+}`
+	w := vm.NewWorkload()
+	w.Add("req", 10)
+	full, sliced := runBoth(t, src, w, symex.Options{})
+	assertParity(t, full, sliced)
+	if full.Status != symex.StatusCompleted {
+		t.Fatalf("status %v", full.Status)
+	}
+	if sliced.Stats.ConcSteps == 0 {
+		t.Fatal("slice-pruned run handled no instruction natively")
+	}
+	if sliced.Stats.SymSteps >= full.Stats.SymSteps {
+		t.Fatalf("no pruning: full sym=%d sliced sym=%d",
+			full.Stats.SymSteps, sliced.Stats.SymSteps)
+	}
+	// The untainted accumulator loop must be handled natively.
+	if sliced.Stats.ConcSteps < 100 {
+		t.Fatalf("ConcSteps = %d, expected the noise loop pruned", sliced.Stats.ConcSteps)
+	}
+	if sliced.TestCase == nil {
+		t.Fatal("no test case")
+	}
+}
+
+func TestSliceParityMemory(t *testing.T) {
+	src := `
+int table[64];
+
+func main() int {
+	int n = input32("n");
+	for (int i = 0; i < 8; i = i + 1) {
+		table[i] = i * 2;
+	}
+	int idx = n % 16;
+	int v = table[idx];
+	int shadow = table[0] + table[1];
+	output(shadow);
+	assert(v != 10, "hit");
+	return 0;
+}`
+	w := vm.NewWorkload()
+	w.Add("n", 5)
+	full, sliced := runBoth(t, src, w, symex.Options{})
+	assertParity(t, full, sliced)
+}
+
+func TestSliceParityHeapAndCalls(t *testing.T) {
+	src := `
+func fill(char *p, int n) int {
+	for (int i = 0; i < n; i = i + 1) {
+		p[i] = i;
+	}
+	return n;
+}
+
+func main() int {
+	int n = input32("n");
+	char *p = malloc(32);
+	int k = fill(p, 16);
+	output(k);
+	int x = p[n % 32];
+	assert(x != 7, "seven");
+	free(p);
+	return 0;
+}`
+	w := vm.NewWorkload()
+	w.Add("n", 7)
+	full, sliced := runBoth(t, src, w, symex.Options{})
+	assertParity(t, full, sliced)
+}
+
+func TestSliceParityStall(t *testing.T) {
+	// A tiny budget stalls both runs at the same query; the stall
+	// artifacts (PC, sites) feed key selection and must agree.
+	src := `
+func main() int {
+	int a = input32("a");
+	int b = input32("b");
+	int acc = 0;
+	for (int i = 0; i < 40; i = i + 1) {
+		acc = acc + (a % 7) * (b % 5) + i;
+	}
+	int dead = 0;
+	for (int i = 0; i < 40; i = i + 1) {
+		dead = dead + i * 3;
+	}
+	output(dead);
+	assert(acc != 1500, "rare");
+	return 0;
+}`
+	w := vm.NewWorkload()
+	w.Add("a", 20)
+	w.Add("b", 113)
+	full, sliced := runBoth(t, src, w, symex.Options{QueryBudget: 300})
+	assertParity(t, full, sliced)
+}
+
+func TestSliceFullRunsCountSymOnly(t *testing.T) {
+	src := `
+func main() int {
+	int x = input32("x");
+	assert(x != 3, "n");
+	return 0;
+}`
+	w := vm.NewWorkload()
+	w.Add("x", 3)
+	full, sliced := runBoth(t, src, w, symex.Options{})
+	if full.Stats.ConcSteps != 0 {
+		t.Fatalf("full run ConcSteps = %d, want 0", full.Stats.ConcSteps)
+	}
+	if full.Stats.SymSteps == 0 || sliced.Stats.SymSteps+sliced.Stats.ConcSteps == 0 {
+		t.Fatal("step counters not populated")
+	}
+}

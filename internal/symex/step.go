@@ -102,6 +102,12 @@ func (e *Engine) run(entry string) error {
 func (e *Engine) pushFrame(t *sthread, fn *ir.Func, args []*expr.Expr, retDst int) {
 	f := &sframe{fn: fn, regs: make([]*expr.Expr, fn.NumRegs), retDst: retDst}
 	copy(f.regs, args)
+	if e.an != nil {
+		if f.fa = e.an.ByFunc(fn); f.fa != nil {
+			f.conc = make([]bool, fn.NumRegs)
+			f.cvals = make([]uint64, fn.NumRegs)
+		}
+	}
 	if fn.FrameSize > 0 {
 		e.objs = append(e.objs, &sobj{
 			label: "f:" + fn.Name,
@@ -137,13 +143,18 @@ func (e *Engine) wakeLockers(mu uint64) {
 	}
 }
 
-// reg reads an operand as a 64-bit expression.
+// reg reads an operand as a 64-bit expression. Registers computed
+// natively by the slice-pruned fast path are materialised as constant
+// expressions here, on first symbolic read.
 func (e *Engine) reg(f *sframe, a ir.Arg) *expr.Expr {
 	if a.K == ir.ArgImm {
 		return e.b.Const(a.Imm, 64)
 	}
 	v := f.regs[a.Reg]
 	if v == nil {
+		if f.conc != nil && f.conc[a.Reg] {
+			return e.b.Const(f.cvals[a.Reg], 64)
+		}
 		return e.b.Const(0, 64)
 	}
 	return v
@@ -200,6 +211,15 @@ func (e *Engine) stepOne(t *sthread) (bool, error) {
 	case ir.OpCondBr, ir.OpRet, ir.OpICall, ir.OpPtWrite:
 		defer func() { t.sinceEvent = 0 }()
 	}
+
+	// Slice-pruned fast path: instructions statically proved outside
+	// the backward failure slice execute natively or are skipped.
+	if f.fa != nil {
+		if handled, err := e.fastStep(t, f, in, f.fa.Mode(f.blk, f.ii)); handled {
+			return false, err
+		}
+	}
+	e.symSteps++
 
 	b := e.b
 	w := in.W

@@ -17,6 +17,7 @@ import (
 	"io"
 	"time"
 
+	"execrecon/internal/dataflow"
 	"execrecon/internal/expr"
 	"execrecon/internal/ir"
 	"execrecon/internal/pt"
@@ -73,6 +74,13 @@ type Options struct {
 	// nil the engine creates a fresh one-shot solver over its own
 	// builder, exactly as before.
 	Solver solver.Backend
+	// Slice optionally supplies the static backward failure slice of
+	// the module (dataflow.Analyze). When set, instructions statically
+	// proved unable to influence any failure condition are executed
+	// concretely or skipped instead of symbolically; the gathered path
+	// constraint is identical to a full run's. Nil means full symbolic
+	// stepping.
+	Slice *dataflow.Analysis
 }
 
 // SiteKey identifies an instruction (a potential recording site).
@@ -114,7 +122,13 @@ type ProgressPoint struct {
 
 // RunStats summarizes engine work.
 type RunStats struct {
-	Instrs        int64
+	Instrs int64
+	// SymSteps counts instructions executed through the full symbolic
+	// dispatch; ConcSteps counts instructions handled by the
+	// slice-pruned fast path (Options.Slice). Without a slice every
+	// instruction is a SymStep.
+	SymSteps      int64
+	ConcSteps     int64
 	SolverQueries int64
 	SolverSteps   int64
 	// SolverTime is the cumulative wall time spent inside solver
@@ -168,6 +182,7 @@ func (r *Result) DumpConstraints(w io.Writer) error {
 type Engine struct {
 	mod  *ir.Module
 	opts Options
+	an   *dataflow.Analysis
 
 	b   *expr.Builder
 	sol solver.Backend
@@ -185,6 +200,8 @@ type Engine struct {
 	sites     map[SiteKey]*SiteStats
 
 	instrs    int64
+	symSteps  int64
+	concSteps int64
 	queries   int64
 	qsteps    int64
 	qtime     time.Duration
@@ -221,6 +238,15 @@ type sframe struct {
 	blk, ii  int
 	frameObj uint32
 	retDst   int
+
+	// Slice-pruned stepping state (Options.Slice only). fa is the
+	// function's static analysis; conc/cvals hold registers computed
+	// natively by the fast path — regs[r] == nil && conc[r] means the
+	// register's value is the constant cvals[r], materialised as an
+	// expression only when a symbolic-path instruction reads it.
+	fa    *dataflow.FuncAnalysis
+	conc  []bool
+	cvals []uint64
 }
 
 type sobj struct {
@@ -274,6 +300,7 @@ func NewFromEvents(mod *ir.Module, src pt.EventSource, failure *vm.Failure, opts
 	e := &Engine{
 		mod:       mod,
 		opts:      opts,
+		an:        opts.Slice,
 		b:         b,
 		sol:       sol,
 		mus:       make(map[uint64]int),
@@ -329,6 +356,8 @@ func (e *Engine) Run(entry string) *Result {
 	}
 	res.Stats = RunStats{
 		Instrs:        e.instrs,
+		SymSteps:      e.symSteps,
+		ConcSteps:     e.concSteps,
 		SolverQueries: e.queries,
 		SolverSteps:   e.qsteps,
 		SolverTime:    e.qtime,
