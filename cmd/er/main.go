@@ -54,6 +54,7 @@ func usage() {
 func main() {
 	storeDir := flag.String("store", "", "archive traces in a persistent store rooted at this directory")
 	replayStore := flag.Bool("replay-store", false, "reproduce from archived records only (requires -store)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry on this address (/metrics Prometheus text, /debug/er JSON) while the command runs")
 	lint := flag.Bool("lint", false, "report advisory IR lint findings after compiling")
 	verbose := flag.Bool("v", false, "log ER loop progress to stderr")
 	flag.Usage = usage
@@ -107,6 +108,28 @@ func main() {
 	}
 	app := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 
+	// Live telemetry: every stage of the session (core loop, symbolic
+	// executor, solver, trace store) reports into one registry served
+	// on -metrics-addr for the lifetime of the command.
+	var (
+		reg    *er.Telemetry
+		tracer *er.Tracer
+	)
+	if *metricsAddr != "" {
+		reg = er.NewTelemetry()
+		tracer = er.NewTracer(0)
+		if store != nil {
+			store.RegisterMetrics(reg)
+		}
+		srv, err := er.ServeTelemetry(*metricsAddr, er.TelemetryOptions{Registry: reg, Tracer: tracer})
+		if err != nil {
+			fatal(fmt.Errorf("metrics endpoint: %w", err))
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "er: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	erOpts := er.Options{Log: log, Telemetry: reg, Tracer: tracer}
+
 	switch cmd {
 	case "run":
 		if store == nil {
@@ -134,20 +157,20 @@ func main() {
 		var rep *er.Report
 		switch {
 		case store == nil:
-			rep, err = er.Reproduce(mod, w, 1, er.Options{Log: log})
+			rep, err = er.Reproduce(mod, w, 1, erOpts)
 		case *replayStore:
 			key, kerr := storeKeyFor(store, mod, w)
 			if kerr != nil {
 				fatal(kerr)
 			}
 			rep, err = er.ReproduceFrom(mod, &tracestore.ReplaySource{Store: store, Key: key},
-				er.Options{Log: log})
+				erOpts)
 		default:
 			rep, err = er.ReproduceFrom(mod, &tracestore.Source{
 				Store: store,
 				Gen:   &core.FixedWorkload{Workload: w, Seed: 1},
 				App:   app,
-			}, er.Options{Log: log})
+			}, erOpts)
 		}
 		if err != nil {
 			fatal(err)

@@ -26,7 +26,16 @@
 //	          vs slice-pruned (out-of-slice instructions execute
 //	          natively), comparing symbolic dispatch counts, verdicts,
 //	          and per-iteration recording-site parity
+//	telemetry telemetry overhead smoke: each bug reproduced with the
+//	          metrics registry + span tracer off vs on (min-of-N wall
+//	          clock), asserting verdict parity and < 5% overhead, plus
+//	          per-stage latency summaries (p50/p90/p99) read back from
+//	          er_core_stage_seconds
 //	all       everything above
+//
+// -json <dir> additionally writes the telemetry experiment's
+// structured result (including the stage summaries) to
+// <dir>/BENCH_telemetry.json.
 package main
 
 import (
@@ -43,7 +52,7 @@ import (
 var experiments = []string{
 	"fig1", "table1", "offline", "fig5", "fig6", "random",
 	"accuracy", "rept", "mimic", "ablation", "mt", "fleet",
-	"solvecache", "tracestore", "slice",
+	"solvecache", "tracestore", "slice", "telemetry",
 }
 
 func validExp(name string) bool {
@@ -65,6 +74,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel pipeline workers for the fleet experiment (0 = GOMAXPROCS)")
 	machines := flag.Int("machines", 0, "producer machines per app for the fleet experiment (0 = default 2)")
 	pace := flag.Duration("pace", 0, "production-run spacing per fleet machine (0 = default 100ms)")
+	trials := flag.Int("trials", 0, "timed repetitions per mode for the telemetry experiment (0 = default 3)")
+	maxOverhead := flag.Float64("max-overhead", 5.0, "telemetry experiment failure threshold in percent")
+	jsonDir := flag.String("json", "", "write the telemetry experiment's structured result to <dir>/BENCH_telemetry.json")
 	verbose := flag.Bool("v", false, "log ER loop progress")
 	flag.Parse()
 
@@ -95,6 +107,14 @@ func main() {
 	}
 	if *runs <= 0 {
 		fmt.Fprintf(os.Stderr, "erbench: -runs must be > 0 (got %d)\n", *runs)
+		os.Exit(2)
+	}
+	if *trials < 0 {
+		fmt.Fprintf(os.Stderr, "erbench: -trials must be >= 0 (got %d)\n", *trials)
+		os.Exit(2)
+	}
+	if *maxOverhead <= 0 {
+		fmt.Fprintf(os.Stderr, "erbench: -max-overhead must be > 0 (got %v)\n", *maxOverhead)
 		os.Exit(2)
 	}
 	if *app != "" && apps.ByName(*app) == nil {
@@ -305,6 +325,42 @@ func main() {
 			if !r.AllParity {
 				fmt.Fprintln(os.Stderr, "slice: verdict/recording-site parity violated (see table)")
 				ok = false
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	if run("telemetry") {
+		fmt.Fprintln(out, "== telemetry overhead: registry + span tracer off vs on ==")
+		opts := bench.TelemetryOptions{Trials: *trials}
+		if *app != "" {
+			opts.Only = []string{*app}
+		}
+		if log != nil {
+			opts.Log = log
+		}
+		r, err := bench.RunTelemetry(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry:", err)
+			ok = false
+		} else {
+			bench.RenderTelemetry(out, r)
+			if !r.AllVerdictsMatch {
+				fmt.Fprintln(os.Stderr, "telemetry: verdict parity violated (see table)")
+				ok = false
+			}
+			if over := r.OverheadPct(); over > *maxOverhead {
+				fmt.Fprintf(os.Stderr, "telemetry: overhead %.2f%% exceeds the %.1f%% budget\n",
+					over, *maxOverhead)
+				ok = false
+			}
+			if *jsonDir != "" {
+				path, err := bench.WriteJSONArtifact(*jsonDir, "telemetry", r)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "telemetry: write json:", err)
+					ok = false
+				} else {
+					fmt.Fprintf(out, "wrote %s\n", path)
+				}
 			}
 		}
 		fmt.Fprintln(out)

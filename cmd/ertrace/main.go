@@ -17,6 +17,15 @@
 //	           and exit without executing the program. Solid edges are
 //	           control flow (T/F-labelled for conditional branches);
 //	           dashed blue edges are the dominator tree.
+//	-spans     run the full ER reproduction loop on the given (failing)
+//	           input instead of dumping packets, and print the
+//	           session's nested span tree: the reconstruction root, one
+//	           iteration per analyzed occurrence, and the
+//	           shepherd/solve/keyselect/instrument/verify stage spans
+//	           with their attributes (signature, solver verdict,
+//	           recording-set size).
+//	-budget n  solver query budget for -spans (0 = unlimited; small
+//	           budgets force stall iterations into the tree).
 package main
 
 import (
@@ -29,10 +38,11 @@ import (
 	"execrecon"
 	"execrecon/internal/dataflow"
 	"execrecon/internal/pt"
+	"execrecon/internal/telemetry"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ertrace [-lint] [-dump-cfg] <prog.minc> [tag=v1,v2,...]...")
+	fmt.Fprintln(os.Stderr, "usage: ertrace [-lint] [-dump-cfg] [-spans [-budget n]] <prog.minc> [tag=v1,v2,...]...")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -40,6 +50,8 @@ func usage() {
 func main() {
 	lint := flag.Bool("lint", false, "print advisory lint findings to stderr")
 	dumpCFG := flag.Bool("dump-cfg", false, "write function CFGs as Graphviz DOT to stdout and exit")
+	spans := flag.Bool("spans", false, "run the ER loop and print the session's span tree instead of dumping packets")
+	budget := flag.Int64("budget", 0, "solver query budget for -spans (0 = unlimited)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -80,6 +92,10 @@ func main() {
 			}
 			w.Add(tag, v)
 		}
+	}
+	if *spans {
+		printSpans(mod, w, *budget)
+		return
 	}
 	tr, res, err := er.RecordTrace(mod, w, 1)
 	if err != nil {
@@ -133,6 +149,27 @@ func main() {
 	}
 	flush()
 	if tr.Truncated {
+		os.Exit(1)
+	}
+}
+
+// printSpans runs the full ER loop on the failing workload with a
+// span tracer attached and renders every finished reconstruction tree
+// as an indented outline. Exits non-zero when the failure does not
+// reproduce (mirroring `er reproduce`).
+func printSpans(mod *er.Module, w *er.Workload, budget int64) {
+	tracer := er.NewTracer(0)
+	rep, err := er.Reproduce(mod, w, 1, er.Options{QueryBudget: budget, Tracer: tracer})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# %s\n", er.Describe(rep))
+	for _, root := range tracer.Recent() {
+		if err := telemetry.WriteTree(os.Stdout, root); err != nil {
+			fatal(err)
+		}
+	}
+	if !rep.Reproduced {
 		os.Exit(1)
 	}
 }

@@ -47,6 +47,7 @@ import (
 	"execrecon/internal/minc"
 	"execrecon/internal/pt"
 	"execrecon/internal/symex"
+	"execrecon/internal/telemetry"
 	"execrecon/internal/vm"
 )
 
@@ -89,6 +90,16 @@ type Options struct {
 	// StaticSlice enables failure-slice-pruned symbolic execution and
 	// deducibility-aware recording-set selection (internal/dataflow).
 	StaticSlice bool
+	// Telemetry, when set, is the shared metrics registry the session
+	// reports into: per-stage latency histograms
+	// (er_core_stage_seconds) plus the symbolic executor's and
+	// solver's own series. Create one with NewTelemetry and expose it
+	// with ServeTelemetry or Telemetry.WritePrometheus.
+	Telemetry *Telemetry
+	// Tracer, when set, records the session as one nested span tree
+	// (reconstruction → iteration → shepherd/solve/keyselect/
+	// instrument/verify); retrieve finished trees with Tracer.Recent.
+	Tracer *Tracer
 	// Log receives progress lines when set.
 	Log io.Writer
 }
@@ -156,6 +167,8 @@ func ReproduceWith(mod *Module, gen Generator, opts Options) (*Report, error) {
 		MaxIterations: opts.MaxIterations,
 		RingSize:      opts.RingSize,
 		StaticSlice:   opts.StaticSlice,
+		Telemetry:     opts.Telemetry,
+		Tracer:        opts.Tracer,
 		Log:           opts.Log,
 	})
 }
@@ -181,8 +194,37 @@ func ReproduceFrom(mod *Module, src Source, opts Options) (*Report, error) {
 		MaxIterations: opts.MaxIterations,
 		RingSize:      opts.RingSize,
 		StaticSlice:   opts.StaticSlice,
+		Telemetry:     opts.Telemetry,
+		Tracer:        opts.Tracer,
 		Log:           opts.Log,
 	})
+}
+
+// Telemetry types, re-exported for callers that observe ER sessions:
+// a Telemetry registry collects er_* metric series (scrapeable in
+// Prometheus text format); a Tracer records reconstruction sessions as
+// nested span trees; a SpanTree is one finished tree.
+type (
+	Telemetry        = telemetry.Registry
+	Tracer           = telemetry.Tracer
+	SpanTree         = telemetry.SpanSnapshot
+	TelemetryServer  = telemetry.Server
+	TelemetryOptions = telemetry.ServerOptions
+)
+
+// NewTelemetry returns an empty metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// NewTracer returns a span tracer retaining the given number of
+// finished trees (0 = default).
+func NewTracer(keep int) *Tracer { return telemetry.NewTracer(keep) }
+
+// ServeTelemetry serves the live introspection endpoint — GET
+// /metrics (Prometheus text format 0.0.4) and GET /debug/er (JSON) —
+// on addr ("127.0.0.1:0" binds an ephemeral port; the server reports
+// the bound address). Close the returned server when done.
+func ServeTelemetry(addr string, opts TelemetryOptions) (*TelemetryServer, error) {
+	return telemetry.Serve(addr, opts)
 }
 
 // Fleet-scale types: a Fleet runs many FleetApps across simulated

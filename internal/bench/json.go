@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// JSONArtifact is the envelope every BENCH_<exp>.json file shares:
+// which experiment produced it, when, and the experiment's structured
+// result (the same rows the text renderer prints).
+type JSONArtifact struct {
+	Experiment string      `json:"experiment"`
+	Generated  time.Time   `json:"generated"`
+	Result     interface{} `json:"result"`
+}
+
+// WriteJSONArtifact writes an experiment's structured result as
+// indented JSON to dir/BENCH_<exp>.json and returns the written path.
+func WriteJSONArtifact(dir, exp string, result interface{}) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", exp))
+	b, err := json.MarshalIndent(JSONArtifact{
+		Experiment: exp,
+		Generated:  time.Now().UTC(),
+		Result:     result,
+	}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,292 @@
+// The telemetry overhead experiment: every Table 1 bug is reproduced
+// twice — once with telemetry disabled (nil registry/tracer, the
+// instrumentation's nil-check fast path) and once with a live
+// registry plus span tracer attached — and the wall-clock delta is
+// the price of observability. The acceptance budget is < 5%: the
+// registry is touched once per iteration/stage, never per
+// instruction, so the delta should be noise. The enabled runs also
+// feed one shared registry whose er_core_stage_seconds histograms
+// yield the corpus-wide per-stage latency summaries (p50/p90/p99)
+// that erbench emits into its JSON artifact.
+
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"execrecon/internal/apps"
+	"execrecon/internal/core"
+	"execrecon/internal/symex"
+	"execrecon/internal/telemetry"
+)
+
+// TelemetryOptions configures the overhead experiment.
+type TelemetryOptions struct {
+	// QueryBudget is the per-query solver budget (0 = bench default).
+	QueryBudget int64
+	// Trials is the number of timed repetitions per mode; the minimum
+	// is kept (default 3). Min-of-N suppresses scheduler noise the
+	// same way the fig6 overhead runs do.
+	Trials int
+	// Only restricts the run to the named apps (nil = all).
+	Only []string
+	// Log receives progress lines.
+	Log io.Writer
+}
+
+// TelemetryRow compares one app's reproduction with telemetry off
+// versus on.
+type TelemetryRow struct {
+	App string `json:"app"`
+	// Disabled/Enabled are min-of-Trials wall times for the full ER
+	// reproduction in each mode.
+	Disabled time.Duration `json:"disabled_ns"`
+	Enabled  time.Duration `json:"enabled_ns"`
+
+	DisabledReproduced bool `json:"disabled_reproduced"`
+	DisabledVerified   bool `json:"disabled_verified"`
+	EnabledReproduced  bool `json:"enabled_reproduced"`
+	EnabledVerified    bool `json:"enabled_verified"`
+
+	// VerdictMatch: both modes agree on Reproduced and Verified — the
+	// correctness gate (telemetry must be observation-only).
+	VerdictMatch bool   `json:"verdict_match"`
+	FailReason   string `json:"fail_reason,omitempty"`
+}
+
+// OverheadPct is the enabled-over-disabled wall-time delta in percent
+// (negative when the enabled run happened to be faster).
+func (r TelemetryRow) OverheadPct() float64 {
+	if r.Disabled <= 0 {
+		return 0
+	}
+	return 100 * (float64(r.Enabled) - float64(r.Disabled)) / float64(r.Disabled)
+}
+
+// StageSummary is one ER stage's latency distribution across the
+// whole enabled-mode corpus, read back from the shared registry's
+// er_core_stage_seconds histogram.
+type StageSummary struct {
+	Stage string  `json:"stage"`
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P90   float64 `json:"p90_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	Mean  float64 `json:"mean_seconds"`
+}
+
+// TelemetryResult aggregates the experiment.
+type TelemetryResult struct {
+	Rows []TelemetryRow `json:"rows"`
+	// TotalDisabled/TotalEnabled sum the per-app minima; the aggregate
+	// overhead is their relative delta (the headline number).
+	TotalDisabled time.Duration `json:"total_disabled_ns"`
+	TotalEnabled  time.Duration `json:"total_enabled_ns"`
+	// AllVerdictsMatch reports whether every app reproduced (and
+	// verified) identically in both modes.
+	AllVerdictsMatch bool `json:"all_verdicts_match"`
+	// Stages holds the corpus-wide per-stage latency summaries from
+	// the enabled runs, in StageNames order (stages with no samples
+	// are omitted).
+	Stages []StageSummary `json:"stages"`
+	// SpanTrees counts finished reconstruction span trees recorded by
+	// the enabled runs (one per session).
+	SpanTrees uint64 `json:"span_trees"`
+}
+
+// OverheadPct is the aggregate enabled-over-disabled delta in percent.
+func (r *TelemetryResult) OverheadPct() float64 {
+	if r.TotalDisabled <= 0 {
+		return 0
+	}
+	return 100 * (float64(r.TotalEnabled) - float64(r.TotalDisabled)) / float64(r.TotalDisabled)
+}
+
+// telemetryRun is one timed full reproduction; reg/tracer nil means
+// the disabled mode.
+func telemetryRun(a *apps.App, budget int64, reg *telemetry.Registry, tracer *telemetry.Tracer) (*core.Report, time.Duration, error) {
+	mod, err := a.Module()
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	rep, err := core.Reproduce(core.Config{
+		Module:    mod,
+		Gen:       &core.FixedWorkload{Workload: a.Failing(), Seed: a.Seed},
+		Symex:     symex.Options{QueryBudget: budget, MaxInstrs: 50_000_000},
+		Telemetry: reg,
+		Tracer:    tracer,
+	})
+	return rep, time.Since(start), err
+}
+
+// RunTelemetry measures the wall-clock price of the telemetry layer
+// across the Table 1 corpus and collects the per-stage latency
+// summaries of the instrumented runs.
+func RunTelemetry(opts TelemetryOptions) (*TelemetryResult, error) {
+	budget := opts.QueryBudget
+	if budget == 0 {
+		budget = DefaultQueryBudget
+	}
+	trials := opts.Trials
+	if trials <= 0 {
+		trials = 3
+	}
+	res := &TelemetryResult{AllVerdictsMatch: true}
+	// One registry/tracer shared by every enabled run: the stage
+	// histograms then summarize the whole corpus.
+	reg := telemetry.New()
+	tracer := telemetry.NewTracer(telemetry.DefaultKeepSpans)
+	for _, a := range apps.All() {
+		if len(opts.Only) > 0 && !contains(opts.Only, a.Name) {
+			continue
+		}
+		row := TelemetryRow{App: a.Name}
+		fail := func(err error) {
+			row.FailReason = err.Error()
+			res.AllVerdictsMatch = false
+			res.Rows = append(res.Rows, row)
+		}
+
+		var base *core.Report
+		for t := 0; t < trials; t++ {
+			rep, d, err := telemetryRun(a, budget, nil, nil)
+			if err != nil && rep == nil {
+				fail(err)
+				break
+			}
+			base = rep
+			if t == 0 || d < row.Disabled {
+				row.Disabled = d
+			}
+		}
+		if base == nil {
+			continue
+		}
+		row.DisabledReproduced = base.Reproduced
+		row.DisabledVerified = base.Verified
+
+		var inst *core.Report
+		for t := 0; t < trials; t++ {
+			rep, d, err := telemetryRun(a, budget, reg, tracer)
+			if err != nil && rep == nil {
+				fail(err)
+				break
+			}
+			inst = rep
+			if t == 0 || d < row.Enabled {
+				row.Enabled = d
+			}
+		}
+		if inst == nil {
+			continue
+		}
+		row.EnabledReproduced = inst.Reproduced
+		row.EnabledVerified = inst.Verified
+
+		row.VerdictMatch = row.DisabledReproduced == row.EnabledReproduced &&
+			row.DisabledVerified == row.EnabledVerified
+		if !row.VerdictMatch {
+			res.AllVerdictsMatch = false
+		}
+		res.TotalDisabled += row.Disabled
+		res.TotalEnabled += row.Enabled
+		res.Rows = append(res.Rows, row)
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "telemetry: %s off=%v on=%v overhead=%+.1f%% match=%v\n",
+				a.Name, row.Disabled.Round(time.Microsecond),
+				row.Enabled.Round(time.Microsecond), row.OverheadPct(), row.VerdictMatch)
+		}
+	}
+	res.Stages = StageSummaries(reg)
+	res.SpanTrees = tracer.Finished()
+	return res, nil
+}
+
+// StageSummaries reads the er_core_stage_seconds histogram family
+// back out of a registry as per-stage quantile summaries, in
+// core.StageNames order. Stages with no samples are omitted.
+func StageSummaries(reg *telemetry.Registry) []StageSummary {
+	fam, ok := reg.Family("er_core_stage_seconds")
+	if !ok {
+		return nil
+	}
+	byStage := make(map[string]telemetry.HistSnapshot, len(fam.Series))
+	for _, s := range fam.Series {
+		if s.Hist == nil {
+			continue
+		}
+		for _, l := range s.Labels {
+			if l.Name == "stage" {
+				byStage[l.Value] = *s.Hist
+			}
+		}
+	}
+	var out []StageSummary
+	for _, stage := range core.StageNames {
+		hs, ok := byStage[stage]
+		if !ok || hs.Count == 0 {
+			continue
+		}
+		out = append(out, StageSummary{
+			Stage: stage,
+			Count: hs.Count,
+			P50:   hs.Quantile(0.50),
+			P90:   hs.Quantile(0.90),
+			P99:   hs.Quantile(0.99),
+			Mean:  hs.Mean(),
+		})
+	}
+	return out
+}
+
+// RenderTelemetry prints the per-app comparison, the stage latency
+// summary, and the aggregate overhead verdict.
+func RenderTelemetry(w io.Writer, res *TelemetryResult) {
+	header := []string{"Application-BugID", "Disabled", "Enabled", "Overhead", "Verdict"}
+	var rows [][]string
+	for _, r := range res.Rows {
+		verdict := "match"
+		if !r.VerdictMatch {
+			verdict = "MISMATCH"
+		}
+		if r.FailReason != "" {
+			verdict = "ERROR: " + r.FailReason
+		}
+		rows = append(rows, []string{
+			r.App,
+			r.Disabled.Round(time.Microsecond).String(),
+			r.Enabled.Round(time.Microsecond).String(),
+			fmt.Sprintf("%+.1f%%", r.OverheadPct()),
+			verdict,
+		})
+	}
+	table(w, header, rows)
+
+	if len(res.Stages) > 0 {
+		fmt.Fprintf(w, "\nper-stage latency (enabled runs, %d span trees):\n", res.SpanTrees)
+		sh := []string{"Stage", "Count", "p50", "p90", "p99", "Mean"}
+		var srows [][]string
+		for _, s := range res.Stages {
+			srows = append(srows, []string{
+				s.Stage,
+				fmt.Sprintf("%d", s.Count),
+				fmtSeconds(s.P50),
+				fmtSeconds(s.P90),
+				fmtSeconds(s.P99),
+				fmtSeconds(s.Mean),
+			})
+		}
+		table(w, sh, srows)
+	}
+	fmt.Fprintf(w, "\ntotal wall time: disabled %v vs enabled %v (%+.2f%% overhead); verdicts identical: %v\n",
+		res.TotalDisabled.Round(time.Microsecond), res.TotalEnabled.Round(time.Microsecond),
+		res.OverheadPct(), res.AllVerdictsMatch)
+}
+
+// fmtSeconds renders a seconds quantity as a rounded duration.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTelemetryExpSmoke runs the overhead experiment on a small app
+// subset (one immediate, one iterative) with a single trial per mode
+// and checks verdict parity, stage-summary coverage, and the JSON
+// artifact round-trip. Wall-clock overhead itself is asserted only by
+// the full erbench run (CI smoke), not here — unit-test machines are
+// too noisy for a 5% gate on two apps.
+func TestTelemetryExpSmoke(t *testing.T) {
+	res, err := RunTelemetry(TelemetryOptions{
+		Only:   []string{"SQLite-4e8e485", "Nasm-2004-1287"},
+		Trials: 1,
+	})
+	if err != nil {
+		t.Fatalf("RunTelemetry: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if !res.AllVerdictsMatch {
+		t.Fatalf("verdict parity violated: %+v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if !r.EnabledReproduced || !r.EnabledVerified {
+			t.Errorf("%s: instrumented run did not reproduce+verify: %+v", r.App, r)
+		}
+		if r.Disabled <= 0 || r.Enabled <= 0 {
+			t.Errorf("%s: missing timings: %+v", r.App, r)
+		}
+	}
+	if res.SpanTrees != 2 {
+		t.Errorf("span trees = %d, want 2", res.SpanTrees)
+	}
+	stages := map[string]StageSummary{}
+	for _, s := range res.Stages {
+		stages[s.Stage] = s
+	}
+	for _, want := range []string{"wait", "shepherd", "solve", "verify"} {
+		s, ok := stages[want]
+		if !ok {
+			t.Errorf("stage summary missing %q (have %v)", want, res.Stages)
+			continue
+		}
+		if s.Count == 0 {
+			t.Errorf("stage %s: zero samples", want)
+		}
+		if s.P50 < 0 || s.P99 < s.P50 {
+			t.Errorf("stage %s: inconsistent quantiles p50=%v p99=%v", want, s.P50, s.P99)
+		}
+	}
+
+	// Render must not panic and must mention the aggregate verdict.
+	var sb strings.Builder
+	RenderTelemetry(&sb, res)
+	if !strings.Contains(sb.String(), "verdicts identical: true") {
+		t.Errorf("render missing aggregate verdict:\n%s", sb.String())
+	}
+
+	// JSON artifact round-trip.
+	dir := t.TempDir()
+	path, err := WriteJSONArtifact(dir, "telemetry", res)
+	if err != nil {
+		t.Fatalf("WriteJSONArtifact: %v", err)
+	}
+	if filepath.Base(path) != "BENCH_telemetry.json" {
+		t.Errorf("artifact path = %s", path)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read artifact: %v", err)
+	}
+	var art struct {
+		Experiment string          `json:"experiment"`
+		Result     TelemetryResult `json:"result"`
+	}
+	if err := json.Unmarshal(b, &art); err != nil {
+		t.Fatalf("artifact JSON: %v\n%s", err, b)
+	}
+	if art.Experiment != "telemetry" || len(art.Result.Rows) != 2 || len(art.Result.Stages) == 0 {
+		t.Errorf("artifact round-trip lost data: %+v", art)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"execrecon/internal/ir"
 	"execrecon/internal/symex"
+	"execrecon/internal/telemetry"
 	"execrecon/internal/vm"
 )
 
@@ -92,6 +93,22 @@ type Config struct {
 	// expression nodes before its caches reset (0 = solver default);
 	// only meaningful with IncrementalSolver.
 	SolverMaxSessionNodes int
+	// Telemetry, when set, is the shared metrics registry the
+	// pipeline reports into: per-stage latency histograms
+	// (er_core_stage_seconds{stage=...}) and iteration/outcome
+	// counters, plus the symbolic executor's and incremental solver
+	// session's own er_symex_*/er_solver_* series (threaded through
+	// automatically unless the caller injected its own Symex options).
+	// Nil disables collection entirely.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, records the whole reconstruction as one
+	// nested span tree: a root "reconstruction" span with one
+	// "iteration" child per analyzed occurrence, each carrying
+	// shepherd/solve/keyselect/instrument/verify stage spans and
+	// attributes (signature, iteration, recording-set size, solver
+	// verdict). Drivers may attach their own children (ingest,
+	// decode, reoccurrence-wait) via Pipeline.Span.
+	Tracer *telemetry.Tracer
 	// StaticSlice enables the static dataflow analysis
 	// (internal/dataflow) across the loop: shepherded symbolic
 	// execution prunes instructions outside the backward failure slice
@@ -173,10 +190,18 @@ func Reproduce(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	waitHist := StageHistogram(cfg.Telemetry, "wait")
 	for !p.Done() {
+		// The reoccurrence wait is driver time, not pipeline time, so
+		// Reproduce owns the span and the stage sample.
+		wSpan := p.Span().Child("reoccurrence-wait")
+		waitStart := time.Now()
 		occ, err := src.Next(p.Request())
+		waitHist.Observe(time.Since(waitStart).Seconds())
+		wSpan.End()
 		if err != nil {
 			p.rep.FailReason = err.Error()
+			p.Abort(err.Error())
 			return p.rep, err
 		}
 		if _, err := p.Feed(occ); err != nil {

@@ -18,6 +18,7 @@ import (
 	"execrecon/internal/pt"
 	"execrecon/internal/solver"
 	"execrecon/internal/symex"
+	"execrecon/internal/telemetry"
 	"execrecon/internal/vm"
 )
 
@@ -39,7 +40,12 @@ type Pipeline struct {
 	// an is the static dataflow analysis of the deployed module,
 	// recomputed on every re-instrumentation (nil unless
 	// Config.StaticSlice is set).
-	an        *dataflow.Analysis
+	an *dataflow.Analysis
+	// tel caches the telemetry series this pipeline updates (nil
+	// unless Config.Telemetry is set); root is the session's
+	// reconstruction span (nil unless Config.Tracer is set).
+	tel       *pipelineTelemetry
+	root      *telemetry.Span
 	signature *vm.Failure
 	seed      int64 // verification seed (from the first occurrence)
 	haveSeed  bool
@@ -76,6 +82,8 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		deployed:  cfg.Module,
 		rep:       &Report{},
 		deferLeft: cfg.DeferTracing,
+		tel:       newPipelineTelemetry(cfg.Telemetry),
+		root:      cfg.Tracer.Start("reconstruction", telemetry.A("entry", cfg.Entry)),
 	}
 	if cfg.StaticSlice {
 		p.an = dataflow.Analyze(cfg.Module)
@@ -90,6 +98,7 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 			Timeout:         cfg.Symex.QueryTimeout,
 			Validate:        false,
 			MaxSessionNodes: cfg.SolverMaxSessionNodes,
+			Metrics:         cfg.Telemetry,
 		})
 	}
 	return p, nil
@@ -150,6 +159,7 @@ func (p *Pipeline) fail(format string, args ...interface{}) (bool, error) {
 	p.err = fmt.Errorf(format, args...)
 	p.rep.FailReason = p.err.Error()
 	p.done = true
+	p.tel.failed().Inc()
 	return true, p.err
 }
 
@@ -172,12 +182,21 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 		p.signature = occ.Result.Failure
 		p.rep.Failure = p.signature
 		p.rep.TraceInstrs = occ.Result.Stats.Instrs
+		p.root.SetAttr("signature", p.signature.Error())
 	}
 	if !p.haveSeed {
 		p.seed = occ.Seed
 		p.haveSeed = true
 	}
 	p.rep.Occurrences++
+	p.tel.occurrences().Inc()
+	// Every path that terminates the session below must close the
+	// root span so the tree publishes to the tracer ring.
+	defer func() {
+		if p.done {
+			p.endRoot()
+		}
+	}()
 
 	// Deferred-tracing phase: observe, count, do not analyze.
 	if p.deferLeft > 0 {
@@ -190,6 +209,11 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 	}
 
 	it := Iteration{Occurrence: p.rep.Occurrences}
+	itSpan := p.root.Child("iteration",
+		telemetry.A("occurrence", p.rep.Occurrences),
+		telemetry.A("iteration", p.iters+1),
+		telemetry.A("version", p.version))
+	defer itSpan.End()
 
 	// Offline phase: shepherded symbolic execution. With a persistent
 	// session the engine's queries reuse all Tseitin/Ackermann/learned
@@ -201,6 +225,9 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 	if sxOpts.Slice == nil && p.an != nil {
 		sxOpts.Slice = p.an
 	}
+	if sxOpts.Metrics == nil {
+		sxOpts.Metrics = p.cfg.Telemetry
+	}
 	var src pt.EventSource
 	if occ.Trace != nil {
 		it.TraceEvents = len(occ.Trace.Events)
@@ -211,6 +238,7 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 		// event count is only known after the run.
 		src = occ.Events
 	}
+	shSpan := itSpan.Child("shepherd")
 	eng := symex.NewFromEvents(p.deployed, src, occ.Result.Failure, sxOpts)
 	sres := eng.Run(p.cfg.Entry)
 	if occ.Trace == nil {
@@ -228,16 +256,45 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 	it.ConcSteps = sres.Stats.ConcSteps
 	p.rep.TotalSymexTime += sres.Stats.Elapsed
 	p.rep.TotalSolverTime += sres.Stats.SolverTime
+	shSpan.SetAttr("status", sres.Status.String())
+	shSpan.SetAttr("trace_events", it.TraceEvents)
+	shSpan.SetAttr("instrs", sres.Stats.Instrs)
+	shSpan.SetAttr("sym_steps", sres.Stats.SymSteps)
+	shSpan.SetAttr("conc_steps", sres.Stats.ConcSteps)
+	shSpan.SetAttr("queries", sres.Stats.SolverQueries)
+	if sres.StallReason != "" {
+		shSpan.SetAttr("stall_reason", sres.StallReason)
+	}
+	// Solving happens inside shepherding, so the solve span's duration
+	// is externally metered from the engine's solver wall time rather
+	// than clocked here.
+	shSpan.Child("solve",
+		telemetry.A("verdict", solverVerdict(sres.Status)),
+		telemetry.A("steps", sres.Stats.SolverSteps),
+	).EndAfter(sres.Stats.SolverTime)
+	shSpan.End()
+	p.tel.shepherd().Observe(sres.Stats.Elapsed.Seconds())
+	p.tel.solve().Observe(sres.Stats.SolverTime.Seconds())
 
 	switch sres.Status {
 	case symex.StatusCompleted:
 		p.rep.Iterations = append(p.rep.Iterations, it)
 		p.rep.Reproduced = true
 		p.rep.TestCase = sres.TestCase
+		p.tel.iterations().Inc()
+		p.tel.reproduced().Inc()
 		// Verify: the generated input must reproduce the same failure
 		// signature on a fresh concrete run of the pristine module.
+		vSpan := itSpan.Child("verify")
+		verStart := time.Now()
 		ver := vm.New(p.cfg.Module, vm.Config{Input: sres.TestCase.Clone(), Seed: p.seed}).Run(p.cfg.Entry)
 		p.rep.Verified = ver.Failure.SameSignature(p.signature)
+		p.tel.verify().Observe(time.Since(verStart).Seconds())
+		vSpan.SetAttr("verified", p.rep.Verified)
+		vSpan.End()
+		if p.rep.Verified {
+			p.tel.verified().Inc()
+		}
 		p.cfg.logf("iteration %d: reproduced after %d occurrence(s); verified=%v",
 			p.iters+1, p.rep.Occurrences, p.rep.Verified)
 		p.done = true
@@ -245,9 +302,12 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 
 	case symex.StatusStalled:
 		p.cfg.logf("iteration %d: stalled (%s); selecting key data values", p.iters+1, sres.StallReason)
+		p.tel.iterations().Inc()
+		p.tel.stalls().Inc()
 		var sites []symex.SiteKey
 		var cost int64
 		var err error
+		ksSpan := itSpan.Child("keyselect")
 		selStart := time.Now()
 		if p.cfg.RandomSelection {
 			sites, cost, err = randomSelection(sres, p.cfg.RandomSeed+int64(p.iters))
@@ -259,6 +319,10 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 			}
 		}
 		it.SelectTime = time.Since(selStart)
+		p.tel.keyselect().Observe(it.SelectTime.Seconds())
+		ksSpan.SetAttr("sites", len(sites))
+		ksSpan.SetAttr("cost_bytes", cost)
+		ksSpan.End()
 		if err != nil {
 			p.rep.Iterations = append(p.rep.Iterations, it)
 			return p.fail("core: selection failed: %w", err)
@@ -267,8 +331,14 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 		it.RecordingCost = cost
 		it.Sites = sites
 		p.rep.Iterations = append(p.rep.Iterations, it)
+		p.tel.sites().Add(int64(len(sites)))
+		p.tel.recordBytes().Add(cost)
+		inSpan := itSpan.Child("instrument", telemetry.A("sites", len(sites)))
+		inStart := time.Now()
 		instrumented, err := keyselect.Instrument(p.deployed, sites)
 		if err != nil {
+			inSpan.End()
+			p.tel.failed().Inc()
 			p.err = err
 			p.rep.FailReason = err.Error()
 			p.done = true
@@ -279,12 +349,16 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 		if p.cfg.StaticSlice {
 			p.an = dataflow.Analyze(instrumented)
 		}
+		p.tel.instrument().Observe(time.Since(inStart).Seconds())
+		inSpan.SetAttr("version", p.version)
+		inSpan.End()
 		p.cfg.logf("iteration %d: instrumenting %d site(s), cost %d bytes/occurrence",
 			p.iters+1, len(sites), cost)
 		p.iters++
 		if p.iters >= p.cfg.MaxIterations {
 			p.rep.FailReason = fmt.Sprintf("not reproduced within %d iterations", p.cfg.MaxIterations)
 			p.done = true
+			p.tel.failed().Inc()
 		}
 		return p.done, nil
 
@@ -293,6 +367,7 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 		p.rep.FailReason = fmt.Sprintf("symbolic execution %v: %v", sres.Status, sres.Err)
 		p.err = fmt.Errorf("core: %s", p.rep.FailReason)
 		p.done = true
+		p.tel.failed().Inc()
 		return true, p.err
 	}
 }

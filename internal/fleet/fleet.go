@@ -14,6 +14,7 @@ import (
 	"execrecon/internal/prod"
 	"execrecon/internal/pt"
 	"execrecon/internal/symex"
+	"execrecon/internal/telemetry"
 	"execrecon/internal/tracestore"
 	"execrecon/internal/vm"
 )
@@ -93,6 +94,29 @@ type Options struct {
 	// hot traces live only in RAM and overflow drops, the previous
 	// behavior.
 	Store *tracestore.Store
+	// Telemetry, when set, is the shared metrics registry the whole
+	// subsystem reports into: fleet-level gauges/counters
+	// (er_fleet_*), each bucket pipeline's core stage histograms and
+	// outcome counters (er_core_*), the symbolic executor's and
+	// incremental solver sessions' series (er_symex_*/er_solver_*),
+	// and — when Store is set — the archive's er_tracestore_* series.
+	// Nil disables collection.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, records each bucket pipeline's reconstruction
+	// as a nested span tree; the fleet attaches its own
+	// reoccurrence-wait and decode children. Recent finished trees are
+	// exposed on the introspection endpoint's /debug/er.
+	Tracer *telemetry.Tracer
+	// ListenAddr, when non-empty, serves the live introspection
+	// endpoint while the fleet runs: GET /metrics (Prometheus text
+	// format 0.0.4 of the Telemetry registry) and GET /debug/er (JSON
+	// fleet snapshot plus recent span trees). Use "127.0.0.1:0" to
+	// bind an ephemeral port; IntrospectionAddr reports the bound
+	// address. The listener closes when Wait returns.
+	ListenAddr string
+	// Pprof additionally mounts net/http/pprof handlers on the
+	// introspection endpoint (/debug/pprof/...).
+	Pprof bool
 	// Log receives progress lines when set.
 	Log io.Writer
 }
@@ -150,6 +174,12 @@ type Fleet struct {
 	started  atomic.Bool
 	start    time.Time
 	resolved atomic.Int64 // completed buckets
+
+	// Introspection endpoint (nil unless Options.ListenAddr is set)
+	// and the pre-resolved fleet-owned stage histograms.
+	server     *telemetry.Server
+	waitHist   *telemetry.Histogram
+	decodeHist *telemetry.Histogram
 
 	waitOnce sync.Once
 	result   *Result
@@ -234,6 +264,12 @@ func New(apps []App, opts Options) (*Fleet, error) {
 		}
 		f.byName[a.Name] = g
 	}
+	if o.Telemetry != nil {
+		f.registerMetrics(o.Telemetry)
+		if o.Store != nil {
+			o.Store.RegisterMetrics(o.Telemetry)
+		}
+	}
 	return f, nil
 }
 
@@ -251,6 +287,21 @@ func (f *Fleet) Start() error {
 	}
 	f.ctx, f.cancel = context.WithCancel(context.Background())
 	f.start = time.Now()
+
+	if f.opts.ListenAddr != "" {
+		srv, err := telemetry.Serve(f.opts.ListenAddr, telemetry.ServerOptions{
+			Registry: f.opts.Telemetry,
+			Tracer:   f.opts.Tracer,
+			Debug:    func() interface{} { return f.Snapshot() },
+			Pprof:    f.opts.Pprof,
+		})
+		if err != nil {
+			f.cancel()
+			return fmt.Errorf("fleet: introspection endpoint: %w", err)
+		}
+		f.server = srv
+		f.logf("fleet: introspection endpoint on http://%s (/metrics, /debug/er)", srv.Addr())
+	}
 
 	for s := 0; s < f.ingest.Shards(); s++ {
 		f.wg.Add(1)
@@ -350,6 +401,8 @@ func (f *Fleet) runBucket(b *Bucket) {
 		RingSize:              f.opts.RingSize,
 		IncrementalSolver:     f.opts.SolverSessions,
 		SolverMaxSessionNodes: f.opts.SolverMaxSessionNodes,
+		Telemetry:             f.opts.Telemetry,
+		Tracer:                f.opts.Tracer,
 		Log:                   f.opts.Log,
 	})
 	if err != nil {
@@ -362,6 +415,7 @@ func (f *Fleet) runBucket(b *Bucket) {
 		var msg *prod.TraceMsg
 		select {
 		case <-f.ctx.Done():
+			p.Abort("fleet shutdown")
 			b.state.Store(int32(BucketFailed))
 			f.bucketDone(b)
 			return
@@ -373,13 +427,19 @@ func (f *Fleet) runBucket(b *Bucket) {
 				f.feedOccurrence(b, g, p, occ)
 				continue
 			}
+			wSpan := p.Span().Child("reoccurrence-wait")
+			waitStart := time.Now()
 			select {
 			case <-f.ctx.Done():
+				wSpan.End()
+				p.Abort("fleet shutdown")
 				b.state.Store(int32(BucketFailed))
 				f.bucketDone(b)
 				return
 			case msg = <-b.pending:
 			}
+			f.waitHist.Observe(time.Since(waitStart).Seconds())
+			wSpan.End()
 		}
 		if msg.Version != p.Version() {
 			// Recorded on an out-of-date deployment (pre-rollout
@@ -388,12 +448,21 @@ func (f *Fleet) runBucket(b *Bucket) {
 			b.staleDrops.Add(1)
 			continue
 		}
+		dSpan := p.Span().Child("decode")
+		decodeStart := time.Now()
 		occ, err := occurrenceFrom(msg)
+		f.decodeHist.Observe(time.Since(decodeStart).Seconds())
 		if err != nil {
+			dSpan.SetAttr("error", err.Error())
+			dSpan.End()
 			b.badDrops.Add(1)
 			f.logf("fleet: bucket %d (%s): dropping blob: %v", b.ID, b.App, err)
 			continue
 		}
+		if occ.Trace != nil {
+			dSpan.SetAttr("events", len(occ.Trace.Events))
+		}
+		dSpan.End()
 		f.feedOccurrence(b, g, p, occ)
 	}
 	// Resolved: the archive no longer needs every reoccurrence of this
@@ -547,6 +616,7 @@ func (f *Fleet) Wait() (*Result, error) {
 		f.cancel()
 		f.ingest.Close()
 		f.wg.Wait()
+		f.server.Close()
 
 		res := &Result{Elapsed: elapsed, Final: f.Snapshot()}
 		for _, b := range f.table.Buckets() {

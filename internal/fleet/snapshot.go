@@ -142,13 +142,13 @@ func (f *Fleet) snapshotBucket(b *Bucket) BucketSnapshot {
 		Spills:       b.spills.Load(),
 		Replayed:     b.replayed.Load(),
 		Iterations:   int(b.iterations.Load()),
-
-		SolverSolves:    b.solverSolves.Load(),
-		SolverReused:    b.solverReused.Load(),
-		SolverBlasted:   b.solverBlasted.Load(),
-		SolverFallbacks: b.solverFallbacks.Load(),
-		SolverResets:    b.solverResets.Load(),
 	}
+	st := b.loadSolverStats()
+	bs.SolverSolves = st.Solves
+	bs.SolverReused = st.ConstraintsReused
+	bs.SolverBlasted = st.ConstraintsBlasted
+	bs.SolverFallbacks = st.FreshFallbacks
+	bs.SolverResets = st.Resets
 	if rep := b.report.Load(); rep != nil {
 		bs.Reproduced = rep.Reproduced
 		bs.Verified = rep.Verified

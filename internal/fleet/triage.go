@@ -7,6 +7,7 @@ import (
 
 	"execrecon/internal/core"
 	"execrecon/internal/prod"
+	"execrecon/internal/solver"
 	"execrecon/internal/vm"
 )
 
@@ -73,19 +74,18 @@ type Bucket struct {
 	badDrops     atomic.Int64 // occurrences dropped as undecodable/truncated
 	state        atomic.Int32
 	iterations   atomic.Int32 // analysis iterations completed so far
-	// Solver-session progress mirrored from the pipeline's persistent
-	// incremental solver after each fed occurrence (all zero when the
-	// fleet runs with fresh-per-query solving). The session itself
-	// lives on the pipeline and dies with it when the bucket retires;
-	// only these counters outlive it.
-	solverSolves    atomic.Int64
-	solverReused    atomic.Int64 // constraints answered from the session cache
-	solverBlasted   atomic.Int64 // constraints lowered for the first time
-	solverFallbacks atomic.Int64 // validation-triggered from-scratch solves
-	solverResets    atomic.Int64 // session rebuilds (poison or node bound)
-	report          atomic.Pointer[core.Report]
-	firstSeen       time.Time
-	doneAt          atomic.Int64 // unix nanos; 0 while in flight
+	// solverStats is the pipeline's persistent-solver progress,
+	// mirrored after each fed occurrence (nil when the fleet runs with
+	// fresh-per-query solving). One pointer store publishes the whole
+	// struct, so a concurrent Snapshot always reads an internally
+	// consistent set of counters — the previous field-per-atomic
+	// mirror could be observed mid-update (e.g. reused > solves). The
+	// session itself lives on the pipeline and dies with it when the
+	// bucket retires; only this snapshot outlives it.
+	solverStats atomic.Pointer[solver.IncStats]
+	report      atomic.Pointer[core.Report]
+	firstSeen   time.Time
+	doneAt      atomic.Int64 // unix nanos; 0 while in flight
 }
 
 // Occurrences returns the total matching occurrences triaged into the
@@ -93,15 +93,22 @@ type Bucket struct {
 func (b *Bucket) Occurrences() int64 { return b.occurrences.Load() }
 
 // recordSolverStats mirrors the pipeline's persistent-solver counters
-// into the bucket's atomics so concurrent Snapshot calls can read them
-// without touching the (single-goroutine) pipeline.
+// into the bucket so concurrent Snapshot calls can read them without
+// touching the (single-goroutine) pipeline. The whole struct is
+// published with a single pointer store: readers see either the
+// previous snapshot or this one, never a torn mix of the two.
 func (b *Bucket) recordSolverStats(p *core.Pipeline) {
 	st := p.SolverStats()
-	b.solverSolves.Store(st.Solves)
-	b.solverReused.Store(st.ConstraintsReused)
-	b.solverBlasted.Store(st.ConstraintsBlasted)
-	b.solverFallbacks.Store(st.FreshFallbacks)
-	b.solverResets.Store(st.Resets)
+	b.solverStats.Store(&st)
+}
+
+// loadSolverStats returns the last published solver-session snapshot
+// (zero value before the first publication).
+func (b *Bucket) loadSolverStats() solver.IncStats {
+	if st := b.solverStats.Load(); st != nil {
+		return *st
+	}
+	return solver.IncStats{}
 }
 
 // State returns the bucket's lifecycle state.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"execrecon/internal/expr"
+	"execrecon/internal/telemetry"
 )
 
 // Incremental is a persistent solving session: where Solver re-runs
@@ -71,6 +72,68 @@ type Incremental struct {
 
 	last  Stats
 	stats IncStats
+
+	// met caches the session's telemetry counters (lazily resolved
+	// from Options.Metrics; nil when telemetry is off).
+	met *incMetrics
+}
+
+// incMetrics holds the registry series an Incremental session updates
+// once per Solve, by delta. All sessions sharing one registry resolve
+// the same series, so the er_solver_* counters are fleet-wide sums.
+type incMetrics struct {
+	sat, unsat, unknown *telemetry.Counter
+	seen, reused        *telemetry.Counter
+	blasted, lemmas     *telemetry.Counter
+	fallbacks, resets   *telemetry.Counter
+	steps               *telemetry.Counter
+	seconds             *telemetry.Histogram
+}
+
+func newIncMetrics(reg *telemetry.Registry) *incMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &incMetrics{
+		sat:     reg.Counter("er_solver_solves_total", "incremental solver queries by verdict", telemetry.L("verdict", "sat")),
+		unsat:   reg.Counter("er_solver_solves_total", "incremental solver queries by verdict", telemetry.L("verdict", "unsat")),
+		unknown: reg.Counter("er_solver_solves_total", "incremental solver queries by verdict", telemetry.L("verdict", "unknown")),
+		seen:    reg.Counter("er_solver_constraints_seen_total", "non-trivial top-level constraints across queries"),
+		reused:  reg.Counter("er_solver_constraints_reused_total", "constraints answered from session CNF caches"),
+		blasted: reg.Counter("er_solver_constraints_blasted_total", "constraints lowered to CNF for the first time"),
+		lemmas:  reg.Counter("er_solver_lemmas_total", "Ackermann consistency lemmas asserted"),
+		fallbacks: reg.Counter("er_solver_fresh_fallbacks_total",
+			"queries answered by a from-scratch solve after validation failure"),
+		resets:  reg.Counter("er_solver_session_resets_total", "session rebuilds (poisoning or node bound)"),
+		steps:   reg.Counter("er_solver_steps_total", "abstract solver steps spent"),
+		seconds: reg.Histogram("er_solver_query_seconds", "wall time per incremental solver query", nil),
+	}
+}
+
+// report accumulates the query's deltas (pre-Solve stats vs current)
+// into the shared registry.
+func (inc *Incremental) report(before IncStats, res Result, err error, elapsed time.Duration) {
+	m := inc.met
+	if m == nil {
+		return
+	}
+	switch {
+	case err != nil || res == ResultUnknown:
+		m.unknown.Inc()
+	case res == ResultSat:
+		m.sat.Inc()
+	default:
+		m.unsat.Inc()
+	}
+	st := inc.stats
+	m.seen.Add(st.ConstraintsSeen - before.ConstraintsSeen)
+	m.reused.Add(st.ConstraintsReused - before.ConstraintsReused)
+	m.blasted.Add(st.ConstraintsBlasted - before.ConstraintsBlasted)
+	m.lemmas.Add(st.LemmasAsserted - before.LemmasAsserted)
+	m.fallbacks.Add(st.FreshFallbacks - before.FreshFallbacks)
+	m.resets.Add(st.Resets - before.Resets)
+	m.steps.Add(st.Steps - before.Steps)
+	m.seconds.ObserveDuration(elapsed)
 }
 
 // IncStats aggregates an Incremental session's lifetime counters —
@@ -202,6 +265,10 @@ func (inc *Incremental) Solve(cs []*expr.Expr) (Result, *expr.Assignment, error)
 	if inc.opts.Timeout > 0 {
 		budget.Deadline = start.Add(inc.opts.Timeout)
 	}
+	if inc.met == nil && inc.opts.Metrics != nil {
+		inc.met = newIncMetrics(inc.opts.Metrics)
+	}
+	before := inc.stats
 	inc.stats.Solves++
 	if inc.poisoned || inc.b.NumNodes() > inc.maxNodes() {
 		inc.reset()
@@ -229,6 +296,7 @@ func (inc *Incremental) Solve(cs []*expr.Expr) (Result, *expr.Assignment, error)
 	default:
 		inc.stats.Unsat++
 	}
+	inc.report(before, res, err, inc.last.Elapsed)
 	return res, asn, err
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"execrecon/internal/expr"
+	"execrecon/internal/telemetry"
 )
 
 // Result is the outcome of a Solve call.
@@ -47,6 +48,12 @@ type Options struct {
 	// expression nodes before it resets its caches (0 means
 	// DefaultMaxSessionNodes). Ignored by the one-shot Solver.
 	MaxSessionNodes int
+	// Metrics, when set, receives an Incremental session's counters
+	// (er_solver_*) in the shared telemetry registry: one delta
+	// update per Solve call, so many sessions can share one registry
+	// without double counting. The IncStats struct remains the
+	// per-session view. Ignored by the one-shot Solver.
+	Metrics *telemetry.Registry
 }
 
 // Backend is the query interface shared by the one-shot Solver and

@@ -22,6 +22,7 @@ import (
 	"execrecon/internal/ir"
 	"execrecon/internal/pt"
 	"execrecon/internal/solver"
+	"execrecon/internal/telemetry"
 	"execrecon/internal/vm"
 )
 
@@ -81,6 +82,12 @@ type Options struct {
 	// constraint is identical to a full run's. Nil means full symbolic
 	// stepping.
 	Slice *dataflow.Analysis
+	// Metrics, when set, receives the engine's dispatch and solver
+	// counters (er_symex_*) at the end of each Run — the RunStats
+	// struct stays the per-run view, the registry the fleet-wide
+	// accumulation. The engine touches the registry exactly once per
+	// run, so the hot stepping loop is unaffected.
+	Metrics *telemetry.Registry
 }
 
 // SiteKey identifies an instruction (a potential recording site).
@@ -378,7 +385,34 @@ func (e *Engine) Run(entry string) *Result {
 		res.Status = StatusError
 		res.Err = err
 	}
+	e.reportMetrics(res)
 	return res
+}
+
+// reportMetrics accumulates the run's counters into the shared
+// registry (no-op without Options.Metrics).
+func (e *Engine) reportMetrics(res *Result) {
+	reg := e.opts.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("er_symex_runs_total",
+		"shepherded symbolic executions by outcome",
+		telemetry.L("status", res.Status.String())).Inc()
+	reg.Counter("er_symex_instrs_total",
+		"instructions shepherded").Add(res.Stats.Instrs)
+	reg.Counter("er_symex_sym_steps_total",
+		"instructions executed through the full symbolic dispatch").Add(res.Stats.SymSteps)
+	reg.Counter("er_symex_conc_steps_total",
+		"instructions executed natively by the slice-pruned fast path").Add(res.Stats.ConcSteps)
+	reg.Counter("er_symex_solver_queries_total",
+		"solver queries issued").Add(res.Stats.SolverQueries)
+	reg.Counter("er_symex_solver_steps_total",
+		"abstract solver steps spent").Add(res.Stats.SolverSteps)
+	reg.Histogram("er_symex_run_seconds",
+		"shepherded execution wall time per run", nil).ObserveDuration(res.Stats.Elapsed)
+	reg.Histogram("er_symex_solver_seconds",
+		"cumulative solver wall time per run", nil).ObserveDuration(res.Stats.SolverTime)
 }
 
 // solve runs a solver query over the current path constraint plus

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServerOptions configures the live introspection endpoint.
+type ServerOptions struct {
+	// Registry backs /metrics (Prometheus text format) and the
+	// "metrics" section of /debug/er. Nil serves empty output.
+	Registry *Registry
+	// Tracer supplies the recent span trees of /debug/er.
+	Tracer *Tracer
+	// Debug, when set, is called per /debug/er request and its result
+	// is embedded as the "state" section — the hook fleet uses to dump
+	// per-bucket pipeline state.
+	Debug func() interface{}
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// NewHandler returns the introspection mux:
+//
+//	/metrics   Prometheus text exposition of the registry
+//	/debug/er  JSON: {state, metrics, spans} — live subsystem dump
+//	/debug/pprof/... (only with Options.Pprof)
+func NewHandler(opts ServerOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := opts.Registry.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is note it.
+			fmt.Fprintf(w, "# error: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/debug/er", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		payload := struct {
+			Time    time.Time        `json:"time"`
+			State   interface{}      `json:"state,omitempty"`
+			Metrics []FamilySnapshot `json:"metrics"`
+			Spans   []SpanSnapshot   `json:"spans,omitempty"`
+		}{Time: time.Now(), Metrics: opts.Registry.Snapshot(), Spans: opts.Tracer.Recent()}
+		if opts.Debug != nil {
+			payload.State = opts.Debug()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
+// introspection handler on it until Close.
+func Serve(addr string, opts ServerOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: NewHandler(opts), ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() {
+		// ErrServerClosed after Close is the expected shutdown path;
+		// any other serve error leaves the endpoint dark but must not
+		// take the reconstruction service down with it.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the endpoint. Nil-safe and idempotent.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

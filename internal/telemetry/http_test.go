@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetricsEndpoint(t *testing.T) {
+	r := New()
+	r.Counter("er_test_total", "help").Add(3)
+	srv := httptest.NewServer(NewHandler(ServerOptions{Registry: r}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "er_test_total 3") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+}
+
+func TestHandlerDebugEndpoint(t *testing.T) {
+	r := New()
+	r.Gauge("er_test_depth", "").Set(5)
+	tr := NewTracer(4)
+	tr.Start("reconstruction", A("sig", "assert")).End()
+	srv := httptest.NewServer(NewHandler(ServerOptions{
+		Registry: r,
+		Tracer:   tr,
+		Debug:    func() interface{} { return map[string]int{"buckets": 2} },
+	}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/er")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		State   map[string]int   `json:"state"`
+		Metrics []FamilySnapshot `json:"metrics"`
+		Spans   []SpanSnapshot   `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.State["buckets"] != 2 {
+		t.Fatalf("state = %v", payload.State)
+	}
+	if len(payload.Metrics) != 1 || payload.Metrics[0].Name != "er_test_depth" {
+		t.Fatalf("metrics = %+v", payload.Metrics)
+	}
+	if len(payload.Spans) != 1 || payload.Spans[0].Name != "reconstruction" {
+		t.Fatalf("spans = %+v", payload.Spans)
+	}
+}
+
+func TestHandlerPprofMount(t *testing.T) {
+	with := httptest.NewServer(NewHandler(ServerOptions{Pprof: true}))
+	defer with.Close()
+	resp, err := http.Get(with.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", resp.StatusCode)
+	}
+
+	without := httptest.NewServer(NewHandler(ServerOptions{}))
+	defer without.Close()
+	resp2, err := http.Get(without.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode == http.StatusOK {
+		t.Fatal("pprof must not be mounted by default")
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	r := New()
+	r.Counter("er_up_total", "").Inc()
+	s, err := Serve("127.0.0.1:0", ServerOptions{Registry: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if addr == "" {
+		t.Fatal("no bound address")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "er_up_total 1") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server must refuse connections after Close")
+	}
+	var nilServer *Server
+	if nilServer.Close() != nil || nilServer.Addr() != "" {
+		t.Fatal("nil server must be inert")
+	}
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric family in the
+// Prometheus text exposition format (version 0.0.4): one `# HELP` and
+// `# TYPE` line per family, then one sample line per series, with
+// histograms expanded into cumulative `_bucket{le=...}` samples plus
+// `_sum` and `_count`. Families are sorted by name and label values
+// are escaped, so the output is deterministic for a given registry
+// state — which is what the golden-file test pins down.
+//
+// A nil registry writes nothing and returns nil.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Snapshot() {
+		if err := writeFamily(bw, fam); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeFamily(w *bufio.Writer, fam FamilySnapshot) error {
+	if fam.Help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.Name, fam.Kind); err != nil {
+		return err
+	}
+	for _, s := range fam.Series {
+		if s.Hist != nil {
+			if err := writeHistogram(w, fam.Name, s); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n",
+			fam.Name, renderLabels(s.Labels, "", ""), FormatValue(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w *bufio.Writer, name string, s SeriesSnapshot) error {
+	h := s.Hist
+	var cum int64
+	for i, ub := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, renderLabels(s.Labels, "le", FormatValue(ub)), cum); err != nil {
+			return err
+		}
+	}
+	if len(h.Counts) > 0 {
+		cum += h.Counts[len(h.Counts)-1]
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		name, renderLabels(s.Labels, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		name, renderLabels(s.Labels, "", ""), FormatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		name, renderLabels(s.Labels, "", ""), cum)
+	return err
+}
+
+// renderLabels renders `{a="x",b="y"}` (empty string when there are
+// no labels), optionally appending one extra pair (the histogram `le`
+// bound). Values are escaped per the exposition format: backslash,
+// double-quote, and newline.
+func renderLabels(labels []Label, extraName, extraValue string) string {
+	if len(labels) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, l := range labels {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}

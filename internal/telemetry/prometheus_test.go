@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildGoldenRegistry constructs a registry with one metric of each
+// kind, exercising name sanitization and label escaping.
+func buildGoldenRegistry() *Registry {
+	r := New()
+	r.Counter("er_fleet_occurrences_total", "occurrences triaged", L("app", "kvstore")).Add(7)
+	r.Counter("er_fleet_occurrences_total", "occurrences triaged", L("app", `we"ird\app`+"\n")).Add(1)
+	r.Gauge("er.fleet.queue depth", "sanitize me").Set(3)
+	h := r.Histogram("er_core_stage_seconds", "stage latency", []float64{0.001, 0.01, 0.1}, L("stage", "shepherd"))
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(2) // overflow
+	return r
+}
+
+const goldenExposition = `# HELP er_core_stage_seconds stage latency
+# TYPE er_core_stage_seconds histogram
+er_core_stage_seconds_bucket{stage="shepherd",le="0.001"} 2
+er_core_stage_seconds_bucket{stage="shepherd",le="0.01"} 2
+er_core_stage_seconds_bucket{stage="shepherd",le="0.1"} 3
+er_core_stage_seconds_bucket{stage="shepherd",le="+Inf"} 4
+er_core_stage_seconds_sum{stage="shepherd"} 2.051
+er_core_stage_seconds_count{stage="shepherd"} 4
+# HELP er_fleet_occurrences_total occurrences triaged
+# TYPE er_fleet_occurrences_total counter
+er_fleet_occurrences_total{app="kvstore"} 7
+er_fleet_occurrences_total{app="we\"ird\\app\n"} 1
+# HELP er_fleet_queue_depth sanitize me
+# TYPE er_fleet_queue_depth gauge
+er_fleet_queue_depth 3
+`
+
+func TestPrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildGoldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != goldenExposition {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, goldenExposition)
+	}
+}
+
+// sampleLine matches one exposition sample: name, optional label set,
+// value. This is the expfmt-style line validator: every non-comment
+// line of our output must match, names must be legal, and label
+// values must be properly quoted.
+var sampleLine = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[+-]?[0-9].*)$`)
+
+var commentLine = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+
+func TestPrometheusLineFormat(t *testing.T) {
+	var b strings.Builder
+	if err := buildGoldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("exposition must end with a newline")
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !commentLine.MatchString(line) {
+				t.Errorf("malformed comment line: %q", line)
+			}
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("malformed sample line: %q", line)
+		}
+	}
+}
+
+// TestHistogramCumulativity checks the scraper-visible invariants of
+// the histogram expansion: bucket counts are monotonically
+// non-decreasing in le order, the +Inf bucket equals _count, and
+// every series of the family carries the same bucket ladder.
+func TestHistogramCumulativity(t *testing.T) {
+	r := New()
+	h1 := r.Histogram("er_h_seconds", "", []float64{0.01, 0.1, 1}, L("stage", "a"))
+	h2 := r.Histogram("er_h_seconds", "", []float64{0.01, 0.1, 1}, L("stage", "b"))
+	for i := 0; i < 100; i++ {
+		h1.Observe(float64(i) * 0.02)
+		h2.Observe(float64(i) * 0.001)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ stage string }
+	lastCum := map[key]int64{}
+	infSeen := map[key]int64{}
+	countSeen := map[key]int64{}
+	for _, line := range strings.Split(b.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "er_h_seconds_bucket"):
+			stage := extractLabel(t, line, "stage")
+			le := extractLabel(t, line, "le")
+			v := extractValue(t, line)
+			k := key{stage}
+			if v < lastCum[k] {
+				t.Fatalf("bucket counts not cumulative at %q: %d < %d", line, v, lastCum[k])
+			}
+			lastCum[k] = v
+			if le == "+Inf" {
+				infSeen[k] = v
+			}
+		case strings.HasPrefix(line, "er_h_seconds_count"):
+			stage := extractLabel(t, line, "stage")
+			countSeen[key{stage}] = extractValue(t, line)
+		}
+	}
+	for _, stage := range []string{"a", "b"} {
+		k := key{stage}
+		if infSeen[k] == 0 || infSeen[k] != countSeen[k] {
+			t.Fatalf("stage %s: +Inf bucket %d != count %d", stage, infSeen[k], countSeen[k])
+		}
+		if countSeen[k] != 100 {
+			t.Fatalf("stage %s: count = %d, want 100", stage, countSeen[k])
+		}
+	}
+}
+
+func extractLabel(t *testing.T, line, name string) string {
+	t.Helper()
+	re := regexp.MustCompile(name + `="((\\.|[^"\\])*)"`)
+	m := re.FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("label %s missing in %q", name, line)
+	}
+	return m[1]
+}
+
+func extractValue(t *testing.T, line string) int64 {
+	t.Helper()
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		t.Fatalf("no value in %q", line)
+	}
+	v, err := strconv.ParseInt(line[i+1:], 10, 64)
+	if err != nil {
+		t.Fatalf("bad value in %q: %v", line, err)
+	}
+	return v
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {3, "3"}, {-2, "-2"}, {2.5, "2.5"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.in); got != c.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if FormatValue(inf()) != "+Inf" {
+		t.Error("inf")
+	}
+}
+
+func inf() float64 { var z float64; return 1 / z }
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := New()
+	c := r.Counter("er_bench_total", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	_ = fmt.Sprint(c.Value())
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := New()
+	h := r.Histogram("er_bench_seconds", "", nil)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.001)
+		}
+	})
+}
