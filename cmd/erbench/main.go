@@ -31,6 +31,13 @@
 //	          clock), asserting verdict parity and < 5% overhead, plus
 //	          per-stage latency summaries (p50/p90/p99) read back from
 //	          er_core_stage_seconds
+//	corpus    population-scale reproduction: generate -corpus-n
+//	          self-verified scenarios from -seed (seven injected bug
+//	          patterns, two of them concurrency) and reproduce the
+//	          whole population through the fleet under mixed
+//	          benign/failing traffic, reporting per-pattern
+//	          reproduction rates, iteration counts, and recording-cost
+//	          distributions
 //	all       everything above
 //
 // -json <dir> additionally writes the telemetry experiment's
@@ -52,7 +59,7 @@ import (
 var experiments = []string{
 	"fig1", "table1", "offline", "fig5", "fig6", "random",
 	"accuracy", "rept", "mimic", "ablation", "mt", "fleet",
-	"solvecache", "tracestore", "slice", "telemetry",
+	"solvecache", "tracestore", "slice", "telemetry", "corpus",
 }
 
 func validExp(name string) bool {
@@ -75,6 +82,8 @@ func main() {
 	machines := flag.Int("machines", 0, "producer machines per app for the fleet experiment (0 = default 2)")
 	pace := flag.Duration("pace", 0, "production-run spacing per fleet machine (0 = default 100ms)")
 	trials := flag.Int("trials", 0, "timed repetitions per mode for the telemetry experiment (0 = default 3)")
+	corpusN := flag.Int("corpus-n", 200, "generated scenarios for the corpus experiment")
+	seed := flag.Int64("seed", 1, "generation master seed for the corpus experiment")
 	maxOverhead := flag.Float64("max-overhead", 5.0, "telemetry experiment failure threshold in percent")
 	jsonDir := flag.String("json", "", "write the telemetry experiment's structured result to <dir>/BENCH_telemetry.json")
 	verbose := flag.Bool("v", false, "log ER loop progress")
@@ -115,6 +124,17 @@ func main() {
 	}
 	if *maxOverhead <= 0 {
 		fmt.Fprintf(os.Stderr, "erbench: -max-overhead must be > 0 (got %v)\n", *maxOverhead)
+		os.Exit(2)
+	}
+	// Corpus sizing flags: a non-positive population or seed is always
+	// a caller mistake (seed 0 would silently alias the default
+	// population instead of naming a reproducible one).
+	if *corpusN <= 0 {
+		fmt.Fprintf(os.Stderr, "erbench: -corpus-n must be > 0 (got %d)\n", *corpusN)
+		os.Exit(2)
+	}
+	if *seed <= 0 {
+		fmt.Fprintf(os.Stderr, "erbench: -seed must be > 0 (got %d)\n", *seed)
 		os.Exit(2)
 	}
 	if *app != "" && apps.ByName(*app) == nil {
@@ -361,6 +381,24 @@ func main() {
 				} else {
 					fmt.Fprintf(out, "wrote %s\n", path)
 				}
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	if run("corpus") {
+		fmt.Fprintln(out, "== population-scale reproduction over generated scenarios ==")
+		opts := bench.CorpusOptions{N: *corpusN, Seed: uint64(*seed), Workers: *workers, Pace: *pace}
+		if log != nil {
+			opts.Log = log
+		}
+		r, err := bench.RunCorpus(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corpus:", err)
+			ok = false
+		} else {
+			bench.RenderCorpus(out, r)
+			if r.TimedOut {
+				ok = false
 			}
 		}
 		fmt.Fprintln(out)

@@ -62,6 +62,17 @@ func (a *App) Module() (*ir.Module, error) {
 // SrcLines returns the minc line count (the "LoC" analog of Table 1).
 func (a *App) SrcLines() int { return strings.Count(a.Src, "\n") + 1 }
 
+// Run executes the app's program on a workload under a scheduler seed
+// by concrete VM execution — the shared helper for ground-truth
+// checks (does the failing input fail? do benign inputs pass?).
+func (a *App) Run(w *vm.Workload, seed int64) (*vm.Result, error) {
+	mod, err := a.Module()
+	if err != nil {
+		return nil, err
+	}
+	return vm.New(mod, vm.Config{Input: w, Seed: seed}).Run("main"), nil
+}
+
 // All returns the 13 Table 1 apps in the paper's row order.
 func All() []*App {
 	return []*App{

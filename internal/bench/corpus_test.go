@@ -1,0 +1,77 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"execrecon/internal/bench"
+	"execrecon/internal/corpus"
+	"execrecon/internal/telemetry"
+)
+
+// TestCorpusExpSmoke runs the population experiment end-to-end on a
+// small generated population (two scenarios per pattern) and checks
+// every scenario resolves, reproduces, and verifies, that the
+// telemetry registry saw the population counters, and that the
+// renderer emits the per-pattern table.
+func TestCorpusExpSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus experiment runs full ER pipelines; skipped in -short")
+	}
+	reg := telemetry.New()
+	n := 2 * len(corpus.Patterns())
+	r, err := bench.RunCorpus(bench.CorpusOptions{
+		N:         n,
+		Seed:      17,
+		Workers:   4,
+		Pace:      time.Millisecond,
+		Timeout:   2 * time.Minute,
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatalf("corpus experiment: %v", err)
+	}
+	if r.TimedOut {
+		t.Fatalf("corpus fleet timed out with %d unresolved", r.Unresolved)
+	}
+	if r.Total.Scenarios != n {
+		t.Errorf("resolved %d scenarios, want %d", r.Total.Scenarios, n)
+	}
+	if r.Total.Reproduced != n || r.Total.Verified != n {
+		t.Errorf("reproduced/verified %d/%d, want %d/%d",
+			r.Total.Reproduced, r.Total.Verified, n, n)
+	}
+	if r.Total.Occurrences < int64(n) {
+		t.Errorf("%d occurrences, want >= %d", r.Total.Occurrences, n)
+	}
+	for _, row := range r.Rows {
+		if row.Scenarios != 2 {
+			t.Errorf("pattern %s: %d scenarios, want 2 (round-robin)", row.Pattern, row.Scenarios)
+		}
+	}
+
+	for _, fam := range []string{"er_corpus_generated_total", "er_corpus_reproduced_total"} {
+		snap, ok := reg.Family(fam)
+		if !ok {
+			t.Errorf("metric family %s not registered", fam)
+			continue
+		}
+		var total float64
+		for _, s := range snap.Series {
+			total += s.Value
+		}
+		if total != float64(n) {
+			t.Errorf("%s sums to %v, want %d", fam, total, n)
+		}
+	}
+
+	var sb strings.Builder
+	bench.RenderCorpus(&sb, r)
+	out := sb.String()
+	for _, want := range []string{"lock-inversion", "atomicity", "overflow", "Iter p50/max", "-seed 17"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

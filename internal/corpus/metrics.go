@@ -1,0 +1,50 @@
+package corpus
+
+import "execrecon/internal/telemetry"
+
+// Metrics publishes corpus population progress through the telemetry
+// registry, so a fleet's /metrics and /debug/er endpoints show a
+// corpus run advancing (scenarios generated and verified, draws
+// rejected, reproductions settled).
+type Metrics struct {
+	reg *telemetry.Registry
+}
+
+// NewMetrics wires corpus counters into the registry (nil-safe: a nil
+// registry yields no-op metrics, matching the telemetry package's
+// conventions).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{reg: reg}
+}
+
+func (m *Metrics) registry() *telemetry.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// generated counts one accepted (self-verified) scenario.
+func (m *Metrics) generated(p Pattern) {
+	m.registry().Counter("er_corpus_generated_total",
+		"Generated scenarios accepted after ground-truth verification.",
+		telemetry.L("pattern", p.String())).Inc()
+}
+
+// rejected counts one draw that failed self-verification.
+func (m *Metrics) rejected(p Pattern) {
+	m.registry().Counter("er_corpus_rejected_total",
+		"Scenario draws rejected by ground-truth self-verification.",
+		telemetry.L("pattern", p.String())).Inc()
+}
+
+// Reproduced counts one settled ER outcome for a scenario.
+func (m *Metrics) Reproduced(p Pattern, ok bool) {
+	v := "false"
+	if ok {
+		v = "true"
+	}
+	m.registry().Counter("er_corpus_reproduced_total",
+		"Corpus scenarios with a settled ER outcome, by result.",
+		telemetry.L("pattern", p.String()), telemetry.L("reproduced", v)).Inc()
+}

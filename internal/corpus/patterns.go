@@ -1,0 +1,569 @@
+package corpus
+
+import (
+	"fmt"
+
+	"execrecon/internal/vm"
+)
+
+// Sequential patterns
+//
+// Each generator fills an stSpec; emitST wraps it in the shared
+// randomized skeleton (request loop, call-graph filler, branching
+// filler) and builds the ground-truth workloads.
+
+// genOverflow: a size computation in a 16-bit temporary wraps for
+// large request values, so the believed-safe bound check passes and
+// the store lands far outside the table.
+func genOverflow(r *rng) *stSpec {
+	mult := []int{2, 4, 8, 16}[r.intn(4)]
+	n := r.rangeInt(24, 80)
+	limit := n * mult
+	j := r.intn(n)
+	trigger := uint64(65536/mult + j) // (short)(trigger*mult) == j*mult: wraps, passes the check
+	spec := &stSpec{
+		comment:  fmt.Sprintf("integer overflow: 16-bit size wrap defeats the < %d bound", limit),
+		entry:    "probe",
+		maxOps:   32,
+		trigger:  [2]uint64{trigger, uint64(r.rangeInt(1, 4095))},
+		kind:     vm.FailOutOfBounds,
+		failFunc: "probe",
+		budget:   defaultSTBudget,
+	}
+	spec.globals = func(s *src) {
+		s.f("int tbl[%d];", n)
+	}
+	rr := r.fork()
+	spec.funcs = func(s *src) {
+		s.open("func probe(int idx, int v) int {")
+		fillerStmts(rr, s, "gmix", []string{"idx", "v"}, 2)
+		s.f("short need = (short)(idx * %d);", mult)
+		s.open("if (need >= 0 && need < %d) {", limit)
+		s.f("tbl[idx] = v;")
+		s.f("return (int)need;")
+		s.close()
+		s.f("return 0;")
+		s.close()
+	}
+	spec.benignPair = func(r *rng) (uint64, uint64) {
+		return uint64(r.intn(n)), uint64(r.rangeInt(1, 4095))
+	}
+	return spec
+}
+
+// genOOB: the index is validated against the wrong table's bound (the
+// larger shadow array), admitting indices past tbl's end.
+func genOOB(r *rng) *stSpec {
+	n := r.rangeInt(16, 48)
+	m := n + r.rangeInt(8, 32)
+	spec := &stSpec{
+		comment:  fmt.Sprintf("out-of-bounds index: checked against %d, table holds %d", m, n),
+		entry:    "record",
+		maxOps:   32,
+		trigger:  [2]uint64{uint64(r.rangeInt(n, m-1)), uint64(r.rangeInt(1, 4095))},
+		kind:     vm.FailOutOfBounds,
+		failFunc: "record",
+		budget:   defaultSTBudget,
+	}
+	spec.globals = func(s *src) {
+		s.f("int tbl[%d];", n)
+		s.f("int shadow[%d];", m)
+	}
+	rr := r.fork()
+	spec.funcs = func(s *src) {
+		s.open("func record(int idx, int v) int {")
+		fillerStmts(rr, s, "gmix", []string{"idx", "v"}, 2)
+		s.open("if (idx >= 0 && idx < %d) {", m)
+		s.f("shadow[idx] = v;")
+		s.f("tbl[idx] = tbl[idx] + v;")
+		s.f("return idx;")
+		s.close()
+		s.f("return 0;")
+		s.close()
+	}
+	spec.benignPair = func(r *rng) (uint64, uint64) {
+		return uint64(r.intn(n)), uint64(r.rangeInt(1, 4095))
+	}
+	return spec
+}
+
+// genStaleSlot: evict frees a slot's object but leaves the stale
+// pointer in the table; lookup trusts the pointer (not the liveness
+// flag) and reads freed memory. The failing request sequence is
+// put k / evict k / lookup k.
+func genStaleSlot(r *rng) *stSpec {
+	slots := r.rangeInt(8, 24)
+	objSize := []int{8, 12, 16}[r.intn(3)]
+	key := uint64(r.intn(4096))
+	spec := &stSpec{
+		comment:  fmt.Sprintf("stale-slot read: evict leaves the freed pointer in a %d-slot table", slots),
+		entry:    "cache_op",
+		maxOps:   32,
+		kind:     vm.FailUseAfterFree,
+		failFunc: "lookup",
+		budget:   defaultSTBudget,
+	}
+	spec.failingOps = [][2]uint64{{0, key}, {2, key}, {1, key}}
+	spec.globals = func(s *src) {
+		s.f("long slots[%d];", slots)
+		s.f("int live[%d];", slots)
+	}
+	rr := r.fork()
+	spec.funcs = func(s *src) {
+		s.open("func put(int k, int v) int {")
+		s.f("int s = k %% %d;", slots)
+		s.open("if (live[s] == 0) {")
+		s.f("char *p = malloc(%d);", objSize)
+		s.f("int *ip = (int*)p;")
+		s.f("ip[0] = v;")
+		s.f("slots[s] = (long)p;")
+		s.f("live[s] = 1;")
+		s.close()
+		s.open("if (live[s] == 1) {")
+		s.f("int *ip = (int*)slots[s];")
+		s.f("ip[0] = ip[0] + v;")
+		s.close()
+		s.f("return s;")
+		s.close()
+
+		s.open("func evict(int k) int {")
+		s.f("int s = k %% %d;", slots)
+		s.f("int hit = 0;")
+		s.open("if (live[s] == 1) {")
+		s.f("// BUG: the object is freed but slots[s] keeps the stale pointer")
+		s.f("free((char*)slots[s]);")
+		s.f("live[s] = 0;")
+		s.f("hit = 1;")
+		s.close()
+		s.f("return hit;")
+		s.close()
+
+		s.open("func lookup(int k) int {")
+		s.f("int s = k %% %d;", slots)
+		s.f("int v = 0;")
+		s.open("if (slots[s] != 0) {")
+		s.f("// BUG: trusts the pointer instead of live[s]")
+		s.f("int *ip = (int*)slots[s];")
+		s.f("v = ip[0];")
+		s.close()
+		fillerStmts(rr, s, "v", []string{"k", "s"}, 1)
+		s.f("return v;")
+		s.close()
+
+		s.open("func cache_op(int a, int b) int {")
+		s.f("int op = a %% 3;")
+		s.f("int out = 0;")
+		s.f("if (op == 0) { out = put(b, b + 7); }")
+		s.f("else if (op == 1) { out = lookup(b); }")
+		s.f("else { out = evict(b); }")
+		s.f("return out;")
+		s.close()
+	}
+	spec.benignPair = func(r *rng) (uint64, uint64) {
+		// puts and lookups only: without evicts no pointer goes stale.
+		op := uint64(r.intn(2))
+		if r.chance(25) {
+			op += 3 // same op class modulo 3, different raw value
+		}
+		return op, uint64(r.intn(4096))
+	}
+	return spec
+}
+
+// genOffByOne: the summation loop runs i <= n where < was meant; the
+// guard admits n == len(tbl), so exactly the boundary input reads one
+// element past the end.
+func genOffByOne(r *rng) *stSpec {
+	n := r.rangeInt(12, 40)
+	c := 2*r.rangeInt(1, 45) + 1
+	spec := &stSpec{
+		comment:  fmt.Sprintf("off-by-one: i <= n over a %d-entry table, guard admits n == %d", n, n),
+		entry:    "scan",
+		maxOps:   24,
+		trigger:  [2]uint64{uint64(n), uint64(r.rangeInt(1, 4095))},
+		kind:     vm.FailOutOfBounds,
+		failFunc: "scan",
+		budget:   defaultSTBudget,
+	}
+	spec.globals = func(s *src) {
+		s.f("int tbl[%d];", n)
+	}
+	rr := r.fork()
+	spec.funcs = func(s *src) {
+		s.open("func scan(int n, int v) int {")
+		s.f("int t = 0;")
+		s.f("if (n < 0 || n > %d) { return 0; }", n)
+		s.f("tbl[(n * %d) %% %d] = v;", c, n)
+		fillerStmts(rr, s, "t", []string{"n", "v"}, 1)
+		s.open("for (int i = 0; i <= n; i = i + 1) {")
+		s.f("t = t + tbl[i];")
+		s.close()
+		s.f("return t;")
+		s.close()
+	}
+	spec.benignPair = func(r *rng) (uint64, uint64) {
+		return uint64(r.intn(n)), uint64(r.rangeInt(1, 4095))
+	}
+	return spec
+}
+
+// mixStep is one step of the assert pattern's checksum chain, mirrored
+// exactly (int32 wrapping semantics) between the emitted minc and the
+// generator's ground-truth evaluation.
+type mixStep struct {
+	op string // "xor", "mul", "add", "addb", "shr"
+	c  int32
+}
+
+func evalMix(steps []mixStep, a, b int32) int32 {
+	m := a
+	for _, st := range steps {
+		switch st.op {
+		case "xor":
+			m ^= st.c
+		case "mul":
+			m *= st.c
+		case "add":
+			m += st.c
+		case "addb":
+			m += b
+		case "shr":
+			m ^= m >> uint(st.c)
+		}
+	}
+	return m & 255
+}
+
+// genAssert: an accumulated checksum invariant fails for exactly the
+// input pair the generator chose; the solver has to invert the mixing
+// chain to reproduce it.
+func genAssert(r *rng) *stSpec {
+	nSteps := r.rangeInt(2, 4)
+	steps := make([]mixStep, 0, nSteps+1)
+	usedB := false
+	for i := 0; i < nSteps; i++ {
+		switch r.intn(4) {
+		case 0:
+			steps = append(steps, mixStep{op: "xor", c: int32(r.rangeInt(1, 8191))})
+		case 1:
+			steps = append(steps, mixStep{op: "mul", c: int32(2*r.rangeInt(1, 127) + 1)})
+		case 2:
+			steps = append(steps, mixStep{op: "add", c: int32(r.rangeInt(1, 8191))})
+		default:
+			steps = append(steps, mixStep{op: "addb"})
+			usedB = true
+		}
+	}
+	if !usedB {
+		steps = append(steps, mixStep{op: "addb"})
+	}
+	if r.chance(40) {
+		steps = append(steps, mixStep{op: "shr", c: int32(r.rangeInt(3, 7))})
+	}
+	ta := int32(r.intn(4096))
+	tb := int32(r.intn(4096))
+	target := evalMix(steps, ta, tb)
+
+	spec := &stSpec{
+		comment:  fmt.Sprintf("assertion violation: %d-step checksum chain hits the forbidden value %d", len(steps), target),
+		entry:    "check",
+		maxOps:   24,
+		trigger:  [2]uint64{uint64(ta), uint64(tb)},
+		kind:     vm.FailAssert,
+		failFunc: "check",
+		budget:   defaultSTBudget,
+	}
+	spec.globals = func(s *src) {}
+	rr := r.fork()
+	spec.funcs = func(s *src) {
+		s.open("func check(int a, int b) int {")
+		s.f("int m = a;")
+		for _, st := range steps {
+			switch st.op {
+			case "xor":
+				s.f("m = m ^ %d;", st.c)
+			case "mul":
+				s.f("m = m * %d;", st.c)
+			case "add":
+				s.f("m = m + %d;", st.c)
+			case "addb":
+				s.f("m = m + b;")
+			case "shr":
+				s.f("m = m ^ (m >> %d);", st.c)
+			}
+		}
+		s.f("m = m & 255;")
+		fillerStmts(rr, s, "gmix", []string{"a", "b", "m"}, 1)
+		s.f(`assert(m != %d, "checksum invariant");`, target)
+		s.f("return m;")
+		s.close()
+	}
+	spec.benignPair = func(r *rng) (uint64, uint64) {
+		for {
+			a := int32(r.intn(4096))
+			b := int32(r.intn(4096))
+			if evalMix(steps, a, b) != target {
+				return uint64(a), uint64(b)
+			}
+		}
+	}
+	return spec
+}
+
+// Multithreaded patterns
+//
+// These emit full programs directly (spawn-based skeletons); the
+// scheduler seed that exposes the interleaving is found by bounded
+// search in generate.go.
+
+// genLockInversion: two tellers move funds between two accounts,
+// acquiring the two account locks in opposite orders with a
+// descheduling point in between. The failing input enables both
+// locking paths concurrently, and the run deadlocks.
+func genLockInversion(r *rng) *Scenario {
+	lockA := r.rangeInt(1, 4)
+	lockB := lockA + r.rangeInt(1, 4)
+	thresh := r.rangeInt(50, 200)
+	bal0 := r.rangeInt(100, 900)
+	bal1 := r.rangeInt(100, 900)
+
+	s := &src{}
+	s.f("// corpus scenario: lock inversion: move01 takes %d then %d, move10 takes %d then %d", lockA, lockB, lockB, lockA)
+	s.f("int bal0 = %d;", bal0)
+	s.f("int bal1 = %d;", bal1)
+	s.f("int out0 = 0;")
+	s.f("int out1 = 0;")
+	s.f("int gmix = 0;")
+
+	s.open("func move01(int amt) int {")
+	s.f("lock(%d);", lockA)
+	s.f("yield();")
+	s.f("lock(%d); // BUG: move10 acquires these in the opposite order", lockB)
+	s.f("bal0 = bal0 - amt;")
+	s.f("bal1 = bal1 + amt;")
+	s.f("unlock(%d);", lockB)
+	s.f("unlock(%d);", lockA)
+	s.f("return amt;")
+	s.close()
+
+	s.open("func move10(int amt) int {")
+	s.f("lock(%d);", lockB)
+	s.f("yield();")
+	s.f("lock(%d);", lockA)
+	s.f("bal1 = bal1 - amt;")
+	s.f("bal0 = bal0 + amt;")
+	s.f("unlock(%d);", lockA)
+	s.f("unlock(%d);", lockB)
+	s.f("return amt;")
+	s.close()
+
+	teller := func(idx int, move, tag string, out string) {
+		s.open("func teller%d(int n) {", idx)
+		s.f("int acc = 0;")
+		s.open("for (int i = 0; i < n; i = i + 1) {")
+		s.f(`int amt = input32("%s");`, tag)
+		s.open("if (amt >= %d) {", thresh)
+		s.f("acc = acc + %s(amt);", move)
+		s.close()
+		s.open("if (amt < %d) {", thresh)
+		fillerStmts(r.fork(), s, "acc", []string{"amt", "i"}, 1)
+		s.f("acc = acc + (amt & 31);")
+		s.close()
+		s.close()
+		s.f("%s = acc;", out)
+		s.close()
+	}
+	teller(0, "move01", "t0", "out0")
+	teller(1, "move10", "t1", "out1")
+
+	s.open("func main() int {")
+	s.f(`int n0 = input32("cfg");`)
+	s.f(`int n1 = input32("cfg");`)
+	s.f("if (n0 < 0 || n0 > 16 || n1 < 0 || n1 > 16) { return 0 - 1; }")
+	s.f("long t0 = spawn teller0(n0);")
+	s.f("long t1 = spawn teller1(n1);")
+	s.f("join(t0);")
+	s.f("join(t1);")
+	s.f("output(out0 + out1);")
+	s.f("output(gmix);")
+	s.f("return bal0 + bal1;")
+	s.close()
+
+	sc := &Scenario{
+		Pattern:     PatternLockInversion,
+		Src:         s.String(),
+		Kind:        vm.FailDeadlock,
+		FailFunc:    "", // scheduler-level: deadlocks carry no located site
+		QueryBudget: defaultMTBudget,
+	}
+
+	// Ground truth: both tellers' first command is a transfer, so both
+	// locking paths run concurrently.
+	n0 := r.rangeInt(1, 3)
+	n1 := r.rangeInt(1, 3)
+	w := vm.NewWorkload()
+	w.Add("cfg", uint64(n0), uint64(n1))
+	w.Add("t0", uint64(thresh+r.intn(50)))
+	for i := 1; i < n0; i++ {
+		w.Add("t0", uint64(r.intn(thresh)))
+	}
+	w.Add("t1", uint64(thresh+r.intn(50)))
+	for i := 1; i < n1; i++ {
+		w.Add("t1", uint64(r.intn(thresh)))
+	}
+	sc.Failing = w
+
+	benignSeed := r.next()
+	sc.Benign = func(i int) *vm.Workload {
+		br := newRNG(benignSeed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+		bw := vm.NewWorkload()
+		if i%2 == 0 {
+			// Single active teller: transfers are lock-safe alone.
+			k := br.rangeInt(3, 8)
+			bw.Add("cfg", uint64(k), 0)
+			for j := 0; j < k; j++ {
+				bw.Add("t0", uint64(br.intn(thresh*2)))
+			}
+		} else {
+			// Both tellers active, all commands below the transfer
+			// threshold: no lock is ever taken.
+			k0, k1 := br.rangeInt(2, 6), br.rangeInt(2, 6)
+			bw.Add("cfg", uint64(k0), uint64(k1))
+			for j := 0; j < k0; j++ {
+				bw.Add("t0", uint64(br.intn(thresh)))
+			}
+			for j := 0; j < k1; j++ {
+				bw.Add("t1", uint64(br.intn(thresh)))
+			}
+		}
+		return bw
+	}
+	return sc
+}
+
+// genAtomicity: a slot-table writer clears the item pointer before the
+// liveness flag (and outside the scanner's view of the update), so the
+// scanner's check-then-act dereferences a cleared or freed item — the
+// memcached-2019-11596 class.
+func genAtomicity(r *rng) *Scenario {
+	slots := r.rangeInt(8, 24)
+	hash := 2*r.rangeInt(3, 1000) + 1
+	rounds := r.rangeInt(2, 4)
+	nKeys := r.rangeInt(3, 6)
+
+	s := &src{}
+	s.f("// corpus scenario: atomicity violation: drop clears items[s] before used[s], scan checks then derefs")
+	s.f("int used[%d];", slots)
+	s.f("long items[%d];", slots)
+	s.f("int stored = 0;")
+	s.f("int seen = 0;")
+
+	s.open("func slot_of(int k) int {")
+	s.f("int h = k * %d;", hash)
+	s.f("if (h < 0) { h = 0 - h; }")
+	s.f("return h %% %d;", slots)
+	s.close()
+
+	s.open("func store(int k, int v) {")
+	s.f("int s = slot_of(k);")
+	s.f("lock(1);")
+	s.open("if (used[s] == 0) {")
+	s.f("char *p = malloc(8);")
+	s.f("int *ip = (int*)p;")
+	s.f("ip[0] = v;")
+	s.f("items[s] = (long)p;")
+	s.f("used[s] = 1;")
+	s.f("stored = stored + 1;")
+	s.close()
+	s.open("if (used[s] == 1 && items[s] != 0) {")
+	s.f("int *ip = (int*)items[s];")
+	s.f("ip[0] = v;")
+	s.close()
+	s.f("unlock(1);")
+	s.close()
+
+	s.open("func drop(int k) {")
+	s.f("int s = slot_of(k);")
+	s.open("if (used[s] == 1) {")
+	s.f("// BUG: pointer cleared and freed before the flag, without the scanner's lock")
+	s.f("long p = items[s];")
+	s.f("items[s] = 0;")
+	s.f("yield();")
+	s.f("used[s] = 0;")
+	s.f("free((char*)p);")
+	s.close()
+	s.close()
+
+	s.open("func serve(int n) {")
+	s.open("for (int i = 0; i < n; i = i + 1) {")
+	s.f(`int op = input32("cmd");`)
+	s.f(`int k = input32("cmd");`)
+	s.f(`if (op == 1) { store(k, input32("cmd")); }`)
+	s.f("else if (op == 2) { drop(k); }")
+	s.close()
+	s.close()
+
+	s.open("func scan(int rounds) {")
+	s.open("for (int r = 0; r < rounds; r = r + 1) {")
+	s.open("for (int s = 0; s < %d; s = s + 1) {", slots)
+	s.open("if (used[s] == 1) {")
+	s.f("yield();")
+	s.f("int *ip = (int*)items[s];")
+	s.f("seen = seen + ip[0]; // race window: deref after drop's clear")
+	s.close()
+	s.close()
+	s.close()
+	s.close()
+
+	s.open("func main() int {")
+	s.f(`int n = input32("cfg");`)
+	s.f(`int rounds = input32("cfg");`)
+	s.f("if (n < 0 || n > 64 || rounds < 0 || rounds > 8) { return 0 - 1; }")
+	s.f("long ts = spawn serve(n);")
+	s.f("long tc = spawn scan(rounds);")
+	s.f("join(ts);")
+	s.f("join(tc);")
+	s.f("output(stored);")
+	s.f("output(seen);")
+	s.f("return stored;")
+	s.close()
+
+	sc := &Scenario{
+		Pattern: PatternAtomicity,
+		Src:     s.String(),
+		// Kind is pinned by the seed search: the same race window can
+		// surface as a NULL deref (cleared slot) or a use-after-free
+		// (freed item), depending on where the scanner is descheduled.
+		Kind:        vm.FailNullDeref,
+		FailFunc:    "scan",
+		QueryBudget: defaultMTBudget,
+	}
+
+	// Ground truth: store nKeys keys, then drop them all while the
+	// scanner walks the table.
+	stride := r.rangeInt(1, 7)
+	w := vm.NewWorkload()
+	w.Add("cfg", uint64(2*nKeys), uint64(rounds))
+	for i := 0; i < nKeys; i++ {
+		w.Add("cmd", 1, uint64(i*stride), uint64(r.rangeInt(1, 999)))
+	}
+	for i := 0; i < nKeys; i++ {
+		w.Add("cmd", 2, uint64(i*stride))
+	}
+	sc.Failing = w
+
+	benignSeed := r.next()
+	sc.Benign = func(i int) *vm.Workload {
+		br := newRNG(benignSeed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+		// Stores only: without drops no slot ever goes stale, so the
+		// scanner is safe under every interleaving.
+		k := br.rangeInt(4, 12)
+		bw := vm.NewWorkload()
+		bw.Add("cfg", uint64(k), uint64(br.rangeInt(1, 3)))
+		for j := 0; j < k; j++ {
+			bw.Add("cmd", 1, uint64(br.intn(64)), uint64(br.rangeInt(1, 999)))
+		}
+		return bw
+	}
+	return sc
+}

@@ -1,0 +1,40 @@
+package corpus
+
+// rng is a splitmix64 generator. The corpus generator owns its own
+// primitive (rather than math/rand) so that "same seed ⇒ byte-identical
+// programs" is a property of this package alone, independent of any
+// standard-library reshuffle of rand's algorithms.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// rangeInt returns a value in [lo, hi] (inclusive).
+func (r *rng) rangeInt(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+// chance reports true with probability pct/100.
+func (r *rng) chance(pct int) bool { return r.intn(100) < pct }
+
+// pick returns one of the choices.
+func (r *rng) pick(choices []string) string { return choices[r.intn(len(choices))] }
+
+// fork splits off an independent stream, so a consumer can draw an
+// unbounded number of values without perturbing the parent sequence.
+func (r *rng) fork() *rng { return newRNG(r.next()) }
+
+// subSeed derives an independent stream for (scenario index, attempt)
+// pairs; mixing through splitmix keeps nearby indices uncorrelated.
+func subSeed(master uint64, idx, attempt int) uint64 {
+	r := rng{s: master ^ (uint64(idx)+1)*0x9e3779b97f4a7c15 ^ (uint64(attempt)+1)*0xd1b54a32d192ed03}
+	return r.next()
+}

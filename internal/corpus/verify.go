@@ -1,0 +1,105 @@
+package corpus
+
+import (
+	"fmt"
+
+	"execrecon/internal/vm"
+)
+
+// maxFailingInstrs bounds the failing run's dynamic instruction count
+// so every accepted scenario's trace comfortably fits a production
+// machine's default ring buffer.
+const maxFailingInstrs = 150_000
+
+// Exec runs the scenario's program on a workload under a scheduler
+// seed, by concrete VM execution.
+func (s *Scenario) Exec(w *vm.Workload, seed int64) (*vm.Result, error) {
+	mod, err := s.Module()
+	if err != nil {
+		return nil, err
+	}
+	return vm.New(mod, vm.Config{Input: w, Seed: seed}).Run("main"), nil
+}
+
+// Matches reports whether a concrete failure is the scenario's
+// expected one: same kind, and (where the pattern has a located site)
+// same failing function. The atomicity pattern's race window can
+// surface as either a NULL dereference (cleared slot pointer) or a
+// use-after-free (freed item), so both kinds are its ground truth.
+func (s *Scenario) Matches(f *vm.Failure) bool {
+	if f == nil {
+		return false
+	}
+	if s.Pattern == PatternAtomicity {
+		return (f.Kind == vm.FailNullDeref || f.Kind == vm.FailUseAfterFree) && f.Func == s.FailFunc
+	}
+	if f.Kind != s.Kind {
+		return false
+	}
+	return s.FailFunc == "" || f.Func == s.FailFunc
+}
+
+// SelfVerify confirms the scenario's ground truth by concrete
+// execution before it is handed to ER: the program compiles, the
+// failing workload fails with the expected kind/site (searching up to
+// seedSearch scheduler seeds for the multithreaded patterns, and
+// pinning SchedSeed plus the observed kind on success), the failing
+// trace is small enough for a production ring, and benignRuns benign
+// workloads complete cleanly under the scenario's benign scheduler
+// seeds.
+func (s *Scenario) SelfVerify(benignRuns, seedSearch int) error {
+	if _, err := s.Module(); err != nil {
+		return err
+	}
+
+	if s.Pattern.MT() {
+		found := false
+		for seed := int64(0); seed < int64(seedSearch); seed++ {
+			res, err := s.Exec(s.Failing.Clone(), seed)
+			if err != nil {
+				return err
+			}
+			if s.Matches(res.Failure) {
+				if res.Stats.Instrs > maxFailingInstrs {
+					return fmt.Errorf("%s: failing run too large (%d instrs)", s.Name, res.Stats.Instrs)
+				}
+				s.SchedSeed = seed
+				s.Kind = res.Failure.Kind
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: no scheduler seed in [0,%d) triggers %s", s.Name, seedSearch, s.Kind)
+		}
+		if len(s.BenignSeeds) == 0 {
+			s.BenignSeeds = []int64{0, 3, 11}
+		}
+	} else {
+		res, err := s.Exec(s.Failing.Clone(), s.SchedSeed)
+		if err != nil {
+			return err
+		}
+		if res.Failure == nil {
+			return fmt.Errorf("%s: ground-truth input did not fail", s.Name)
+		}
+		if !s.Matches(res.Failure) {
+			return fmt.Errorf("%s: ground-truth input failed with %v, want %s in %q",
+				s.Name, res.Failure, s.Kind, s.FailFunc)
+		}
+		if res.Stats.Instrs > maxFailingInstrs {
+			return fmt.Errorf("%s: failing run too large (%d instrs)", s.Name, res.Stats.Instrs)
+		}
+	}
+
+	for i := 0; i < benignRuns; i++ {
+		res, err := s.Exec(s.Benign(i), s.BenignSeed(i))
+		if err != nil {
+			return err
+		}
+		if res.Failure != nil {
+			return fmt.Errorf("%s: benign run %d failed: %v", s.Name, i, res.Failure)
+		}
+	}
+	return nil
+}

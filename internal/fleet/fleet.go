@@ -27,11 +27,20 @@ type App struct {
 	Module *ir.Module
 	// Entry is the entry function (default "main").
 	Entry string
-	// Failing constructs the bug-triggering workload.
+	// Failing constructs the bug-triggering workload. Machines replay
+	// it every production run unless Gen is set.
 	Failing func() *vm.Workload
 	// Seed is the scheduler seed of failing runs (relevant for
 	// multithreaded bugs).
 	Seed int64
+	// Gen, when set, supplies each machine's n-th production run
+	// (workload plus scheduler seed) instead of the fixed Failing
+	// replay — the hook for realistic traffic where failing requests
+	// arrive embedded in benign load (see prod.Mix). It must be
+	// pure/concurrency-safe: machines call it from their own
+	// goroutines with their own run counters. At least one of Failing
+	// and Gen must be set.
+	Gen func(n int) (*vm.Workload, int64)
 	// Machines is the number of producer machines running this app
 	// (default Options.MachinesPerApp).
 	Machines int
@@ -237,8 +246,8 @@ func New(apps []App, opts Options) (*Fleet, error) {
 		if a.Module == nil {
 			return nil, fmt.Errorf("fleet: app %q has no module", a.Name)
 		}
-		if a.Failing == nil {
-			return nil, fmt.Errorf("fleet: app %q has no failing workload", a.Name)
+		if a.Failing == nil && a.Gen == nil {
+			return nil, fmt.Errorf("fleet: app %q has no failing workload or generator", a.Name)
 		}
 		g := &appGroup{app: a}
 		n := a.Machines
@@ -246,13 +255,17 @@ func New(apps []App, opts Options) (*Fleet, error) {
 			n = o.MachinesPerApp
 		}
 		for m := 0; m < n; m++ {
-			base := a.Failing()
-			seed := a.Seed
+			gen := a.Gen
+			if gen == nil {
+				base := a.Failing()
+				seed := a.Seed
+				gen = func(int) (*vm.Workload, int64) { return base.Clone(), seed }
+			}
 			mc := &prod.Machine{
 				App:      a.Name,
 				ID:       machineID,
 				Entry:    a.Entry,
-				Gen:      func(int) (*vm.Workload, int64) { return base.Clone(), seed },
+				Gen:      gen,
 				Sink:     f.ingest,
 				RingSize: o.RingSize,
 				Pace:     o.Pace,

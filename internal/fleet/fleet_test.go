@@ -296,6 +296,29 @@ func TestTableCollisionChaining(t *testing.T) {
 	}
 }
 
+// TestTablePerAppBuckets checks the dedup key is (app, signature):
+// two applications sharing one signature — the norm for
+// scheduler-level deadlocks, which all report the same located-nowhere
+// <scheduler> site — must get distinct buckets.
+func TestTablePerAppBuckets(t *testing.T) {
+	tbl := NewTable(4)
+	dead := sig(vm.FailDeadlock, "<scheduler>", 0)
+	ba, newA := tbl.Intern(dead, "corpus-lock-inversion-005")
+	bb, newB := tbl.Intern(dead, "corpus-lock-inversion-012")
+	if !newA || !newB {
+		t.Fatalf("both interns should be new: %v %v", newA, newB)
+	}
+	if ba == bb {
+		t.Fatal("two apps sharing a signature shared a bucket")
+	}
+	if got, isNew := tbl.Intern(dead, "corpus-lock-inversion-005"); got != ba || isNew {
+		t.Errorf("re-intern for the same app: bucket=%p isNew=%v", got, isNew)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("table len = %d, want 2", tbl.Len())
+	}
+}
+
 // TestTableConcurrentIntern hammers Intern+offer from many goroutines
 // (run with -race): each distinct signature must get exactly one
 // bucket and no occurrence may be lost unaccounted.

@@ -51,8 +51,10 @@ type Bucket struct {
 	// Sig is the canonical failure signature (from the first
 	// occurrence).
 	Sig *vm.Failure
-	// App is the application name reported by the first occurrence
-	// (routing metadata for deployment rollouts).
+	// App is the application name reported by the occurrences. It is
+	// part of the dedup key (buckets intern by (app, signature), since
+	// distinct programs can share a signature) and routes deployment
+	// rollouts.
 	App string
 
 	pending chan *prod.TraceMsg
@@ -186,15 +188,20 @@ func newTableWithHash(pendingCap int, hash func(*vm.Failure) uint64) *Table {
 	}
 }
 
-// Intern returns the bucket for the failure, creating it if the
-// signature is new. isNew is true exactly once per distinct
-// signature — the dedup edge that spawns pipeline work.
+// Intern returns the bucket for the (app, failure) pair, creating it
+// if the pair is new. isNew is true exactly once per distinct pair —
+// the dedup edge that spawns pipeline work. The app participates in
+// the key because signatures only locate a site within one program:
+// different applications can legitimately share a signature (most
+// prominently scheduler-level deadlocks, which all report the same
+// located-nowhere <scheduler> site) and must still get distinct
+// buckets, distinct pipelines, and distinct rollout targets.
 func (t *Table) Intern(f *vm.Failure, app string) (b *Bucket, isNew bool) {
 	h := t.hash(f)
 
 	t.mu.RLock()
 	for _, c := range t.byHash[h] {
-		if c.Sig.SameSignature(f) {
+		if c.App == app && c.Sig.SameSignature(f) {
 			t.mu.RUnlock()
 			return c, false
 		}
@@ -204,7 +211,7 @@ func (t *Table) Intern(f *vm.Failure, app string) (b *Bucket, isNew bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, c := range t.byHash[h] {
-		if c.Sig.SameSignature(f) {
+		if c.App == app && c.Sig.SameSignature(f) {
 			return c, false // raced with another inserter
 		}
 	}

@@ -16,8 +16,9 @@ import (
 // decoding is the consumer's job, as in a real fleet where machines
 // only copy the hardware buffer out.
 type TraceMsg struct {
-	// App names the application the machine runs (bucket routing
-	// metadata; triage keys on the failure signature, not on this).
+	// App names the application the machine runs. Triage interns
+	// buckets by (app, signature) — distinct applications can share a
+	// signature — and uses it to route deployment rollouts.
 	App string
 	// Machine is the producing machine's id.
 	Machine int

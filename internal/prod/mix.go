@@ -1,0 +1,27 @@
+package prod
+
+import "execrecon/internal/vm"
+
+// Mix builds a machine workload generator that embeds failing requests
+// in benign production load: every period-th run (the period-1
+// interleaved runs being benign) replays the failing workload under
+// its scheduler seed. The returned function is pure in the run index —
+// no shared state — so one Mix can drive many machines concurrently.
+//
+// This is the production-traffic model the corpus experiments use: a
+// machine does not exclusively replay its bug; it mostly serves benign
+// requests, and the failure reoccurs at a configurable rate (the
+// paper's premise that failures recur in production, §2).
+func Mix(failing func() *vm.Workload, failSeed int64,
+	benign func(i int) *vm.Workload, benignSeed func(i int) int64,
+	period int) func(n int) (*vm.Workload, int64) {
+	if period < 1 {
+		period = 1
+	}
+	return func(n int) (*vm.Workload, int64) {
+		if (n+1)%period == 0 {
+			return failing(), failSeed
+		}
+		return benign(n), benignSeed(n)
+	}
+}
