@@ -17,7 +17,11 @@
 //	          sequential vs parallel ER pipelines (internal/fleet)
 //	solvecache  incremental solver-session ablation: fresh-per-query vs
 //	          one persistent session per pipeline (cumulative solver
-//	          time, constraint reuse, verdict parity)
+//	          time, constraint reuse, verdict parity); -portfolio N
+//	          adds a third configuration racing each query across N
+//	          seeded CDCL workers (optionally -cube-vars splits and
+//	          -speculate pre-solving), comparing sequential vs raced
+//	          session wall clock under the same parity gate
 //	tracestore  persistent trace archive: per-app raw-vs-stored
 //	          compression over archived reoccurrences, ingest
 //	          throughput, and verdict parity when every trace is read
@@ -80,8 +84,11 @@ func main() {
 	app := flag.String("app", "", "restrict table1/fleet to one app / select fig5 app")
 	workers := flag.Int("workers", 0, "parallel pipeline workers for the fleet experiment (0 = GOMAXPROCS)")
 	machines := flag.Int("machines", 0, "producer machines per app for the fleet experiment (0 = default 2)")
-	pace := flag.Duration("pace", 0, "production-run spacing per fleet machine (0 = default 100ms)")
+	pace := flag.Duration("pace", 0, "production-run spacing per fleet machine (0 = default 100ms); also the solvecache portfolio mode's simulated reoccurrence interval (0 = default 1s)")
 	trials := flag.Int("trials", 0, "timed repetitions per mode for the telemetry experiment (0 = default 3)")
+	portfolio := flag.Int("portfolio", 0, "racing CDCL workers per query for the solvecache experiment's third mode (<=1 = off)")
+	cubeVars := flag.Int("cube-vars", 0, "cube-and-conquer split variables for the solvecache portfolio mode (0 = no cubes)")
+	speculate := flag.Bool("speculate", false, "speculatively pre-solve stall constraints during waits in the solvecache portfolio mode")
 	corpusN := flag.Int("corpus-n", 200, "generated scenarios for the corpus experiment")
 	seed := flag.Int64("seed", 1, "generation master seed for the corpus experiment")
 	maxOverhead := flag.Float64("max-overhead", 5.0, "telemetry experiment failure threshold in percent")
@@ -120,6 +127,20 @@ func main() {
 	}
 	if *trials < 0 {
 		fmt.Fprintf(os.Stderr, "erbench: -trials must be >= 0 (got %d)\n", *trials)
+		os.Exit(2)
+	}
+	// Portfolio sizing flags: negative widths are caller mistakes, and
+	// cube/speculation settings are meaningless without racing on.
+	if *portfolio < 0 {
+		fmt.Fprintf(os.Stderr, "erbench: -portfolio must be >= 0 (got %d)\n", *portfolio)
+		os.Exit(2)
+	}
+	if *cubeVars < 0 {
+		fmt.Fprintf(os.Stderr, "erbench: -cube-vars must be >= 0 (got %d)\n", *cubeVars)
+		os.Exit(2)
+	}
+	if (*cubeVars > 0 || *speculate) && *portfolio <= 1 {
+		fmt.Fprintln(os.Stderr, "erbench: -cube-vars/-speculate require -portfolio > 1")
 		os.Exit(2)
 	}
 	if *maxOverhead <= 0 {
@@ -289,7 +310,12 @@ func main() {
 	}
 	if run("solvecache") {
 		fmt.Fprintln(out, "== incremental solver-session ablation (fresh vs session) ==")
-		opts := bench.SolveCacheOptions{}
+		opts := bench.SolveCacheOptions{
+			Portfolio: *portfolio,
+			CubeVars:  *cubeVars,
+			Speculate: *speculate,
+			Pace:      *pace,
+		}
 		if *app != "" {
 			opts.Only = []string{*app}
 		}
@@ -302,6 +328,9 @@ func main() {
 			ok = false
 		} else {
 			bench.RenderSolveCache(out, r)
+			if !r.AllVerdictsMatch {
+				ok = false
+			}
 		}
 		fmt.Fprintln(out)
 	}

@@ -1,0 +1,75 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"execrecon/internal/bench"
+)
+
+// TestSolveCachePortfolio runs the solver-session ablation's portfolio
+// mode on a stall-heavy app subset: every app must reproduce with
+// identical verdicts across all three configurations (fresh solver,
+// sequential session, raced session), queries must actually race, and
+// the renderer must surface the portfolio columns.
+func TestSolveCachePortfolio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solvecache ablation runs full ER pipelines; skipped in -short")
+	}
+	only := []string{"SQLite-787fa71", "Nasm-2004-1287"}
+	r, err := bench.RunSolveCache(bench.SolveCacheOptions{
+		Only:      only,
+		Portfolio: 3,
+		CubeVars:  2,
+		Speculate: true,
+		Pace:      20 * time.Millisecond, // keep the paced waits test-sized
+	})
+	if err != nil {
+		t.Fatalf("solvecache: %v", err)
+	}
+	if len(r.Rows) != len(only) {
+		t.Fatalf("rows: %d, want %d", len(r.Rows), len(only))
+	}
+	if !r.AllVerdictsMatch {
+		t.Error("verdict parity violated across solver configurations")
+	}
+	var races int64
+	for _, row := range r.Rows {
+		if !row.PortReproduced || !row.PortVerified {
+			t.Errorf("%s: portfolio run reproduced=%v verified=%v (%s)",
+				row.App, row.PortReproduced, row.PortVerified, row.FailReason)
+		}
+		if row.PortSolverTime <= 0 {
+			t.Errorf("%s: portfolio run recorded no solver time", row.App)
+		}
+		if row.PortE2E <= 0 || row.PortSeqE2E <= 0 {
+			t.Errorf("%s: end-to-end times not recorded (seq=%v port=%v)",
+				row.App, row.PortSeqE2E, row.PortE2E)
+		}
+		if waits := time.Duration(row.PortSeqOccur-1) * 20 * time.Millisecond; row.PortSeqE2E < waits {
+			t.Errorf("%s: sequential e2e %v shorter than its %d paced waits (%v)",
+				row.App, row.PortSeqE2E, row.PortSeqOccur-1, waits)
+		}
+		races += row.Portfolio.Races
+		if got := row.Portfolio.BaseWins + row.Portfolio.SeedWins +
+			row.Portfolio.CubeWins + row.Portfolio.Unknowns; got != row.Portfolio.Races {
+			t.Errorf("%s: race accounting: %d races, %d attributed", row.App, row.Portfolio.Races, got)
+		}
+	}
+	if races == 0 {
+		t.Error("no query raced despite portfolio workers")
+	}
+	if r.Portfolio.Races != races {
+		t.Errorf("aggregate races %d != per-row sum %d", r.Portfolio.Races, races)
+	}
+
+	var sb strings.Builder
+	bench.RenderSolveCache(&sb, r)
+	out := sb.String()
+	for _, want := range append([]string{"Portfolio", "PortSpd", "Races", "portfolio (3 workers)"}, only...) {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -93,6 +93,27 @@ type Config struct {
 	// expression nodes before its caches reset (0 = solver default);
 	// only meaningful with IncrementalSolver.
 	SolverMaxSessionNodes int
+	// PortfolioWorkers, when > 1, races each solver query's CDCL
+	// descent across that many workers — the deterministic base search
+	// plus seeded clones exchanging learnt clauses — with the first
+	// definitive verdict winning and cancelling the rest. Applied to
+	// the incremental session and to fresh per-query solvers alike.
+	// Verdict-preserving: racing changes latency, never outcomes.
+	PortfolioWorkers int
+	// PortfolioCubeVars additionally splits grown queries into 2^n
+	// cube workers over the n highest-occurrence variables (cube and
+	// conquer); 0 disables splitting. Only meaningful with
+	// PortfolioWorkers > 1.
+	PortfolioCubeVars int
+	// Speculate enables speculative pre-solve: while the pipeline sits
+	// in the reoccurrence wait, the predicted next-iteration constraint
+	// set (the last stall's path constraint) is solved into the
+	// persistent session on a side goroutine, warming its caches and
+	// learnt clauses for the query the next trace will actually issue.
+	// Mispredictions are discarded at no correctness cost — the
+	// session's assumption-based queries leave nothing to retract.
+	// Requires IncrementalSolver.
+	Speculate bool
 	// Telemetry, when set, is the shared metrics registry the
 	// pipeline reports into: per-stage latency histograms
 	// (er_core_stage_seconds{stage=...}) and iteration/outcome
@@ -166,7 +187,16 @@ type Report struct {
 	// TraceInstrs is the dynamic instruction count of the failing
 	// execution ("#Instr" of Table 1).
 	TraceInstrs int64
-	FailReason  string
+	// Speculations counts speculative pre-solves launched during
+	// reoccurrence waits (Config.Speculate); SpecHits the ones whose
+	// warmed session state fed the next iteration's fast path, SpecMisses
+	// the ones that completed but did not help, SpecDiscards the ones
+	// cancelled before finishing.
+	Speculations int
+	SpecHits     int
+	SpecMisses   int
+	SpecDiscards int
+	FailReason   string
 }
 
 func (c *Config) logf(format string, args ...interface{}) {
@@ -193,8 +223,11 @@ func Reproduce(cfg Config) (*Report, error) {
 	waitHist := StageHistogram(cfg.Telemetry, "wait")
 	for !p.Done() {
 		// The reoccurrence wait is driver time, not pipeline time, so
-		// Reproduce owns the span and the stage sample.
+		// Reproduce owns the span and the stage sample. The wait is also
+		// where speculative pre-solve overlaps solver work with
+		// production's reoccurrence latency (no-op unless configured).
 		wSpan := p.Span().Child("reoccurrence-wait")
+		p.Speculate()
 		waitStart := time.Now()
 		occ, err := src.Next(p.Request())
 		waitHist.Observe(time.Since(waitStart).Seconds())

@@ -16,7 +16,7 @@ import (
 // span tree. Exported so the bench/CLI layers can render summaries in
 // a stable order.
 var StageNames = []string{
-	"wait", "decode", "shepherd", "solve", "keyselect", "instrument", "verify",
+	"wait", "speculate", "decode", "shepherd", "solve", "keyselect", "instrument", "verify",
 }
 
 // pipelineTelemetry caches the registry series one pipeline updates;
@@ -33,12 +33,19 @@ type pipelineTelemetry struct {
 	cSites       *telemetry.Counter
 	cRecordBytes *telemetry.Counter
 
+	// Speculative pre-solve outcomes (Config.Speculate).
+	cSpeculations *telemetry.Counter
+	cSpecHits     *telemetry.Counter
+	cSpecMisses   *telemetry.Counter
+	cSpecDiscards *telemetry.Counter
+
 	hShepherd   *telemetry.Histogram
 	hSolve      *telemetry.Histogram
 	hKeyselect  *telemetry.Histogram
 	hInstrument *telemetry.Histogram
 	hVerify     *telemetry.Histogram
 	hWait       *telemetry.Histogram
+	hSpeculate  *telemetry.Histogram
 }
 
 func (t *pipelineTelemetry) occurrences() *telemetry.Counter {
@@ -95,6 +102,41 @@ func (t *pipelineTelemetry) recordBytes() *telemetry.Counter {
 		return nil
 	}
 	return t.cRecordBytes
+}
+
+func (t *pipelineTelemetry) speculations() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cSpeculations
+}
+
+func (t *pipelineTelemetry) specHits() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cSpecHits
+}
+
+func (t *pipelineTelemetry) specMisses() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cSpecMisses
+}
+
+func (t *pipelineTelemetry) specDiscards() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cSpecDiscards
+}
+
+func (t *pipelineTelemetry) speculate() *telemetry.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.hSpeculate
 }
 
 func (t *pipelineTelemetry) shepherd() *telemetry.Histogram {
@@ -161,12 +203,18 @@ func newPipelineTelemetry(reg *telemetry.Registry) *pipelineTelemetry {
 		cSites:       reg.Counter("er_core_recording_sites_total", "key data value recording sites instrumented"),
 		cRecordBytes: reg.Counter("er_core_recording_bytes_total", "estimated per-occurrence recording cost instrumented"),
 
+		cSpeculations: reg.Counter("er_core_speculations_total", "speculative pre-solves launched during reoccurrence waits"),
+		cSpecHits:     reg.Counter("er_core_speculation_hits_total", "speculations whose warmed state fed the next query's fast path"),
+		cSpecMisses:   reg.Counter("er_core_speculation_misses_total", "speculations that completed without helping the next query"),
+		cSpecDiscards: reg.Counter("er_core_speculation_discards_total", "speculations cancelled before completing"),
+
 		hShepherd:   StageHistogram(reg, "shepherd"),
 		hSolve:      StageHistogram(reg, "solve"),
 		hKeyselect:  StageHistogram(reg, "keyselect"),
 		hInstrument: StageHistogram(reg, "instrument"),
 		hVerify:     StageHistogram(reg, "verify"),
 		hWait:       StageHistogram(reg, "wait"),
+		hSpeculate:  StageHistogram(reg, "speculate"),
 	}
 }
 
@@ -192,13 +240,25 @@ func (p *Pipeline) endRoot() {
 	p.root.End()
 }
 
-// Abort closes the pipeline's span tree on a driver-side terminal
-// condition (the reoccurrence source failing, the fleet shutting
-// down); reason lands as a root attribute. Idempotent, nil-safe, and
-// a no-op on pipelines that ended normally (their root already
-// closed).
+// Abort ends the pipeline on a driver-side terminal condition (the
+// reoccurrence source failing, the fleet shutting down): it trips the
+// pipeline-wide cancellation flag — so an in-flight solve, observed on
+// its next budget spend rather than at the old 256-step deadline-check
+// cadence, returns Unknown promptly — joins any speculative pre-solve,
+// and closes the span tree with reason as a root attribute.
+// Idempotent and nil-safe; on pipelines that ended normally only the
+// (now moot) cancellation remains, their root having already closed.
+//
+// The cancellation itself is safe from any goroutine, including while
+// the driver is blocked inside Feed; the speculation join and span
+// cleanup assume the usual single-driver discipline.
 func (p *Pipeline) Abort(reason string) {
-	if p == nil || p.root == nil {
+	if p == nil {
+		return
+	}
+	p.stop.Cancel()
+	p.stopSpeculation()
+	if p.root == nil {
 		return
 	}
 	p.root.SetAttr("abort", reason)

@@ -93,6 +93,20 @@ type Options struct {
 	// nodes before it resets (0 = solver default); only meaningful
 	// with SolverSessions.
 	SolverMaxSessionNodes int
+	// PortfolioWorkers, when > 1, races each bucket pipeline's solver
+	// queries across that many seeded CDCL workers (first definitive
+	// verdict wins, the rest are cancelled). Verdict-preserving; an
+	// app can override via its own Symex.Portfolio options.
+	PortfolioWorkers int
+	// PortfolioCubeVars additionally splits grown queries into 2^n
+	// cube workers (cube and conquer); only meaningful with
+	// PortfolioWorkers > 1.
+	PortfolioCubeVars int
+	// Speculate lets a bucket pipeline pre-solve its predicted
+	// next-iteration constraint set whenever its reoccurrence queue
+	// runs dry, overlapping solver work with the wait for production
+	// to re-hit the failure. Requires SolverSessions.
+	Speculate bool
 	// Store, when set, is the persistent trace archive: triage
 	// appends every ingested reoccurrence to it (delta-compressed
 	// against the bucket's reference trace), occurrences that overflow
@@ -414,6 +428,9 @@ func (f *Fleet) runBucket(b *Bucket) {
 		RingSize:              f.opts.RingSize,
 		IncrementalSolver:     f.opts.SolverSessions,
 		SolverMaxSessionNodes: f.opts.SolverMaxSessionNodes,
+		PortfolioWorkers:      f.opts.PortfolioWorkers,
+		PortfolioCubeVars:     f.opts.PortfolioCubeVars,
+		Speculate:             f.opts.Speculate,
 		Telemetry:             f.opts.Telemetry,
 		Tracer:                f.opts.Tracer,
 		Log:                   f.opts.Log,
@@ -441,6 +458,13 @@ func (f *Fleet) runBucket(b *Bucket) {
 				continue
 			}
 			wSpan := p.Span().Child("reoccurrence-wait")
+			// About to block on production: let the pipeline pre-solve
+			// its predicted next query while we wait (no-op unless
+			// Options.Speculate). Feed settles the speculation before
+			// the session is touched again.
+			if p.Speculate() {
+				b.recordSpecStats(p)
+			}
 			waitStart := time.Now()
 			select {
 			case <-f.ctx.Done():
@@ -509,6 +533,7 @@ func (f *Fleet) feedOccurrence(b *Bucket, g *appGroup, p *core.Pipeline, occ *co
 	}
 	b.iterations.Store(int32(len(p.Report().Iterations)))
 	b.recordSolverStats(p)
+	b.recordSpecStats(p)
 	if p.Version() != before && !p.Done() {
 		// Key data values selected: roll the instrumented
 		// module out to this app's machines.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"execrecon/internal/prod"
+	"execrecon/internal/solver"
 	"execrecon/internal/tracestore"
 )
 
@@ -33,6 +34,13 @@ type Snapshot struct {
 	SolverBlasted   int64
 	SolverFallbacks int64
 	SolverResets    int64
+	// Portfolio aggregates the buckets' solver-racing counters (all
+	// zero unless Options.PortfolioWorkers > 1): races run, wins by
+	// worker kind, and learned-clause exchange traffic.
+	Portfolio solver.PortfolioStats
+	// Speculation aggregates the buckets' speculative pre-solve
+	// outcomes (all zero unless Options.Speculate).
+	Speculation SpecStats
 	// StoreEnabled reports whether the fleet runs with a persistent
 	// trace archive (Options.Store); Store is then its stats snapshot:
 	// live segments, raw vs stored bytes (the delta-compression win),
@@ -82,6 +90,10 @@ type BucketSnapshot struct {
 	SolverBlasted   int64
 	SolverFallbacks int64
 	SolverResets    int64
+	// Portfolio carries the session's racing counters; Speculation the
+	// pipeline's pre-solve outcomes. Zero without the matching options.
+	Portfolio   solver.PortfolioStats
+	Speculation SpecStats
 	// Reproduced/Verified mirror the pipeline report once resolved.
 	Reproduced bool
 	Verified   bool
@@ -122,6 +134,11 @@ func (f *Fleet) Snapshot() Snapshot {
 		s.SolverBlasted += bs.SolverBlasted
 		s.SolverFallbacks += bs.SolverFallbacks
 		s.SolverResets += bs.SolverResets
+		s.Portfolio.Merge(bs.Portfolio)
+		s.Speculation.Speculations += bs.Speculation.Speculations
+		s.Speculation.Hits += bs.Speculation.Hits
+		s.Speculation.Misses += bs.Speculation.Misses
+		s.Speculation.Discards += bs.Speculation.Discards
 		s.Buckets = append(s.Buckets, bs)
 	}
 	return s
@@ -149,6 +166,8 @@ func (f *Fleet) snapshotBucket(b *Bucket) BucketSnapshot {
 	bs.SolverBlasted = st.ConstraintsBlasted
 	bs.SolverFallbacks = st.FreshFallbacks
 	bs.SolverResets = st.Resets
+	bs.Portfolio = st.Portfolio
+	bs.Speculation = b.loadSpecStats()
 	if rep := b.report.Load(); rep != nil {
 		bs.Reproduced = rep.Reproduced
 		bs.Verified = rep.Verified

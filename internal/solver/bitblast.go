@@ -528,7 +528,13 @@ func (b *blaster) assert(e *expr.Expr) {
 }
 
 // modelVar reads back the model value of a named expression variable.
-func (b *blaster) modelVar(name string) (uint64, bool) {
+func (b *blaster) modelVar(name string) (uint64, bool) { return b.modelVarFrom(b.s, name) }
+
+// modelVarFrom reads the variable's bits out of core's model rather
+// than the blaster's own core — after a portfolio race the winning
+// model may live on a clone, which shares the snapshot's variable
+// numbering, so the blaster's literal maps apply unchanged.
+func (b *blaster) modelVarFrom(core *sat, name string) (uint64, bool) {
 	bs, ok := b.vars[name]
 	if !ok {
 		return 0, false
@@ -539,7 +545,7 @@ func (b *blaster) modelVar(name string) (uint64, bool) {
 		if cv, isC := b.isConstLit(l); isC {
 			bit = cv
 		} else {
-			bit = b.s.modelValue(l.vindex())
+			bit = core.modelValue(l.vindex())
 		}
 		if l.sign() {
 			bit = !bit

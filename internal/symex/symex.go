@@ -75,6 +75,14 @@ type Options struct {
 	// nil the engine creates a fresh one-shot solver over its own
 	// builder, exactly as before.
 	Solver solver.Backend
+	// Stop, when set, cancels in-flight solver queries promptly: the
+	// flag is observed on every budget spend, not just at the deadline
+	// cadence. Pipelines wire their abort flag here. Ignored when
+	// Solver is injected (configure the session's own Options.Stop).
+	Stop *solver.Cancel
+	// Portfolio, when Workers > 1, races each query's CDCL descent
+	// across seeded workers. Ignored when Solver is injected.
+	Portfolio solver.PortfolioOptions
 	// Slice optionally supplies the static backward failure slice of
 	// the module (dataflow.Analyze). When set, instructions statically
 	// proved unable to influence any failure condition are executed
@@ -299,9 +307,11 @@ func NewFromEvents(mod *ir.Module, src pt.EventSource, failure *vm.Failure, opts
 	sol := opts.Solver
 	if sol == nil {
 		sol = solver.New(b, solver.Options{
-			MaxSteps: opts.QueryBudget,
-			Timeout:  opts.QueryTimeout,
-			Validate: false,
+			MaxSteps:  opts.QueryBudget,
+			Timeout:   opts.QueryTimeout,
+			Validate:  false,
+			Stop:      opts.Stop,
+			Portfolio: opts.Portfolio,
 		})
 	}
 	e := &Engine{
