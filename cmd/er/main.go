@@ -7,6 +7,11 @@
 //	er [flags] reproduce prog.minc   tag=1,2,3 ...        ER loop on the failing input
 //	er [flags] constraints prog.minc tag=1,2,3 ...        dump the failing run's path
 //	                                                      constraint as SMT-LIB 2
+//	er -coordinator URL submit prog.minc tag=1,2,3 ...    run once traced and ship a
+//	                                                      failing occurrence to an
+//	                                                      erd coordinator
+//	er -coordinator URL verdicts                          list every cluster bucket's
+//	                                                      triage outcome
 //
 // Input streams are given as tag=v1,v2,... arguments.
 //
@@ -22,6 +27,11 @@
 //	               records of the failure's signature, in sequence
 //	               order. The archive must already hold the failure
 //	               (e.g. from earlier `er run -store` invocations).
+//	-coordinator   base URL of an erd coordinator (cmd/erd). Required by
+//	               the `submit` and `verdicts` subcommands, which speak
+//	               the cluster wire protocol as a pure client: submit
+//	               traces into the fleet's ingest path, query triage
+//	               verdicts back out.
 //	-v             log ER loop progress to stderr.
 //
 // All errors — including a failure that cannot be reproduced and an
@@ -37,6 +47,7 @@ import (
 	"strings"
 
 	"execrecon"
+	"execrecon/internal/cluster"
 	"execrecon/internal/core"
 	"execrecon/internal/expr"
 	"execrecon/internal/pt"
@@ -47,6 +58,8 @@ import (
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: er [-store dir] [-replay-store] [-lint] [-v] run|reproduce|constraints <prog.minc> [tag=v1,v2,...]...")
+	fmt.Fprintln(os.Stderr, "       er -coordinator URL submit <prog.minc> [tag=v1,v2,...]...")
+	fmt.Fprintln(os.Stderr, "       er -coordinator URL verdicts")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -55,10 +68,23 @@ func main() {
 	storeDir := flag.String("store", "", "archive traces in a persistent store rooted at this directory")
 	replayStore := flag.Bool("replay-store", false, "reproduce from archived records only (requires -store)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry on this address (/metrics Prometheus text, /debug/er JSON) while the command runs")
+	coordinator := flag.String("coordinator", "", "erd coordinator base URL (enables the submit and verdicts subcommands)")
 	lint := flag.Bool("lint", false, "report advisory IR lint findings after compiling")
 	verbose := flag.Bool("v", false, "log ER loop progress to stderr")
 	flag.Usage = usage
 	flag.Parse()
+	// `verdicts` is a pure coordinator query with no program argument;
+	// every other subcommand compiles one.
+	if flag.Arg(0) == "verdicts" {
+		if *coordinator == "" {
+			fatal(fmt.Errorf("verdicts requires -coordinator"))
+		}
+		if flag.NArg() > 1 {
+			usage()
+		}
+		reportVerdicts(*coordinator)
+		return
+	}
 	if flag.NArg() < 2 {
 		usage()
 	}
@@ -185,6 +211,39 @@ func main() {
 		for tag, vals := range rep.TestCase.Streams {
 			fmt.Printf("  %s = %v\n", tag, vals)
 		}
+	case "submit":
+		if *coordinator == "" {
+			fatal(fmt.Errorf("submit requires -coordinator"))
+		}
+		// Capture exactly what a production machine ships: a traced run
+		// whose ring buffer and failure travel to the coordinator's
+		// ingest path over the wire protocol.
+		ring := pt.NewRing(pt.DefaultRingSize)
+		enc := pt.NewEncoder(ring)
+		res := vm.New(mod, vm.Config{Input: w, Seed: 1, Tracer: enc}).Run("main")
+		enc.Finish()
+		if res.Failure == nil {
+			fatal(fmt.Errorf("the given input does not fail; nothing to submit"))
+		}
+		raw, lost := ring.Bytes()
+		resp, err := cluster.NewClient(*coordinator, "").Submit(&cluster.SubmitRequest{
+			App:     app,
+			Failure: res.Failure,
+			Raw:     raw,
+			Lost:    lost,
+			Seed:    1,
+			Instrs:  res.Stats.Instrs,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if !resp.OK {
+			fatal(fmt.Errorf("coordinator rejected submit: %s", resp.Err))
+		}
+		if !resp.Accepted {
+			fatal(fmt.Errorf("ingest dropped the occurrence (app %q not in the coordinator's corpus, or the fleet is shutting down)", app))
+		}
+		fmt.Printf("submitted: app=%s key=%#x failure=%v\n", app, tracestore.KeyOf(res.Failure), res.Failure)
 	case "constraints":
 		tr, res, err := er.RecordTrace(mod, w, 1)
 		if err != nil {
@@ -203,6 +262,37 @@ func main() {
 		}
 	default:
 		usage()
+	}
+}
+
+// reportVerdicts lists every cluster bucket's triage outcome.
+func reportVerdicts(base string) {
+	resp, err := cluster.NewClient(base, "").Verdicts()
+	if err != nil {
+		fatal(err)
+	}
+	if !resp.OK {
+		fatal(fmt.Errorf("coordinator rejected verdicts: %s", resp.Err))
+	}
+	if len(resp.Buckets) == 0 {
+		fmt.Println("no buckets yet")
+		return
+	}
+	for _, b := range resp.Buckets {
+		status := b.State
+		switch {
+		case b.Reproduced && b.Verified:
+			status = "reproduced+verified"
+		case b.Reproduced:
+			status = "reproduced (unverified)"
+		case b.State == "resolved":
+			status = "NOT reproduced"
+			if b.FailReason != "" {
+				status += " (" + b.FailReason + ")"
+			}
+		}
+		fmt.Printf("%-24s key=%#x %-22s node=%-12s term=%d iters=%d redispatches=%d\n",
+			b.App, b.Key, status, b.Node, b.Term, b.Iterations, b.Redispatches)
 	}
 }
 

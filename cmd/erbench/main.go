@@ -14,7 +14,12 @@
 //	ablation  recording-set minimization on/off (design-choice check)
 //	mt        §3.4 multithreaded reconstruction summary
 //	fleet     fleet-scale triage: the 13 apps as one mixed workload,
-//	          sequential vs parallel ER pipelines (internal/fleet)
+//	          sequential vs parallel ER pipelines (internal/fleet);
+//	          -nodes N triages the same corpus through an in-process
+//	          multi-node cluster instead (internal/cluster: coordinator
+//	          + N triage nodes over loopback HTTP, scaling measured at
+//	          {1,2,4} <= N), and -kill-after D adds a node-kill chaos
+//	          run that must preserve verdict parity
 //	solvecache  incremental solver-session ablation: fresh-per-query vs
 //	          one persistent session per pipeline (cumulative solver
 //	          time, constraint reuse, verdict parity); -portfolio N
@@ -84,6 +89,8 @@ func main() {
 	app := flag.String("app", "", "restrict table1/fleet to one app / select fig5 app")
 	workers := flag.Int("workers", 0, "parallel pipeline workers for the fleet experiment (0 = GOMAXPROCS)")
 	machines := flag.Int("machines", 0, "producer machines per app for the fleet experiment (0 = default 2)")
+	nodes := flag.Int("nodes", 0, "run the fleet experiment through an in-process multi-node cluster (coordinator + N triage nodes over loopback HTTP); scaling is measured at every count in {1,2,4} <= N")
+	killAfter := flag.Duration("kill-after", 0, "with -nodes >= 2, kill -9 one triage node this long into an extra chaos run (all buckets must still resolve via lease re-dispatch)")
 	pace := flag.Duration("pace", 0, "production-run spacing per fleet machine (0 = default 100ms); also the solvecache portfolio mode's simulated reoccurrence interval (0 = default 1s)")
 	trials := flag.Int("trials", 0, "timed repetitions per mode for the telemetry experiment (0 = default 3)")
 	portfolio := flag.Int("portfolio", 0, "racing CDCL workers per query for the solvecache experiment's third mode (<=1 = off)")
@@ -119,6 +126,27 @@ func main() {
 	}
 	if *pace < 0 {
 		fmt.Fprintf(os.Stderr, "erbench: -pace must be >= 0 (got %v)\n", *pace)
+		os.Exit(2)
+	}
+	// Cluster sizing flags: an explicit -nodes must name a positive
+	// node count, and the chaos mode needs a surviving node to inherit
+	// the victim's leases.
+	nodesSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "nodes" {
+			nodesSet = true
+		}
+	})
+	if nodesSet && *nodes <= 0 {
+		fmt.Fprintf(os.Stderr, "erbench: -nodes must be > 0 (got %d)\n", *nodes)
+		os.Exit(2)
+	}
+	if *killAfter < 0 {
+		fmt.Fprintf(os.Stderr, "erbench: -kill-after must be >= 0 (got %v)\n", *killAfter)
+		os.Exit(2)
+	}
+	if *killAfter > 0 && *nodes < 2 {
+		fmt.Fprintln(os.Stderr, "erbench: -kill-after requires -nodes >= 2 (a survivor must inherit the victim's leases)")
 		os.Exit(2)
 	}
 	if *runs <= 0 {
@@ -291,20 +319,46 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if run("fleet") {
-		fmt.Fprintln(out, "== fleet-scale triage: sequential vs parallel ER pipelines ==")
-		opts := bench.FleetExpOptions{Workers: *workers, MachinesPerApp: *machines, Pace: *pace}
-		if *app != "" {
-			opts.Only = []string{*app}
-		}
-		if log != nil {
-			opts.Log = log
-		}
-		r, err := bench.RunFleetExp(opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fleet:", err)
-			ok = false
+		if *nodes > 0 {
+			fmt.Fprintln(out, "== fleet-scale triage: distributed multi-node cluster ==")
+			opts := bench.FleetClusterOptions{
+				Nodes:          *nodes,
+				KillAfter:      *killAfter,
+				MachinesPerApp: *machines,
+				Pace:           *pace,
+			}
+			if *app != "" {
+				opts.Only = []string{*app}
+			}
+			if log != nil {
+				opts.Log = log
+			}
+			r, err := bench.RunFleetCluster(opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fleet:", err)
+				ok = false
+			} else {
+				bench.RenderFleetCluster(out, r)
+				if !r.Parity() {
+					ok = false
+				}
+			}
 		} else {
-			bench.RenderFleet(out, r)
+			fmt.Fprintln(out, "== fleet-scale triage: sequential vs parallel ER pipelines ==")
+			opts := bench.FleetExpOptions{Workers: *workers, MachinesPerApp: *machines, Pace: *pace}
+			if *app != "" {
+				opts.Only = []string{*app}
+			}
+			if log != nil {
+				opts.Log = log
+			}
+			r, err := bench.RunFleetExp(opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fleet:", err)
+				ok = false
+			} else {
+				bench.RenderFleet(out, r)
+			}
 		}
 		fmt.Fprintln(out)
 	}

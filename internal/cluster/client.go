@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client speaks the coordinator's /v1/* wire protocol. All methods
+// are safe for concurrent use.
+type Client struct {
+	base string
+	node string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the coordinator at base (e.g.
+// "http://127.0.0.1:9090"). node names this peer in lease and
+// liveness bookkeeping ("" for pure submit/query clients).
+func NewClient(base, node string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		node: node,
+		// The timeout must clear the coordinator's long-poll window
+		// (maxPollWait) with margin, not race it.
+		hc: &http.Client{Timeout: maxPollWait + 10*time.Second},
+	}
+}
+
+// post round-trips one JSON request. Transport and decode errors are
+// returned as errors; protocol-level rejections ride in the response
+// envelope (OK=false).
+func (cl *Client) post(path string, req, resp interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("cluster: marshal %s: %w", path, err)
+	}
+	hr, err := cl.hc.Post(cl.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hr.Body, 512))
+		return fmt.Errorf("cluster: %s: HTTP %d: %s", path, hr.StatusCode, bytes.TrimSpace(msg))
+	}
+	if err := json.NewDecoder(hr.Body).Decode(resp); err != nil {
+		return fmt.Errorf("cluster: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// Lease asks for the next unleased bucket, long-polling up to wait.
+func (cl *Client) Lease(wait time.Duration) (*LeaseResponse, error) {
+	var resp LeaseResponse
+	err := cl.post(PathLease, &LeaseRequest{
+		V: ProtocolVersion, Node: cl.node, WaitMillis: wait.Milliseconds(),
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Renew heartbeats a held lease.
+func (cl *Client) Renew(app string, key, term uint64, iterations int) (*RenewResponse, error) {
+	var resp RenewResponse
+	err := cl.post(PathRenew, &RenewRequest{
+		V: ProtocolVersion, Node: cl.node, App: app, Key: key,
+		Term: term, Iterations: iterations,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Fetch asks for the next banked occurrence matching the cursor.
+func (cl *Client) Fetch(app string, key, term, afterSeq uint64, version int, wait time.Duration) (*FetchResponse, error) {
+	var resp FetchResponse
+	err := cl.post(PathFetch, &FetchRequest{
+		V: ProtocolVersion, Node: cl.node, App: app, Key: key, Term: term,
+		AfterSeq: afterSeq, Version: version, WaitMillis: wait.Milliseconds(),
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Rollout ships the full accumulated site chain for deployment.
+func (cl *Client) Rollout(req *RolloutRequest) (*RolloutResponse, error) {
+	req.V = ProtocolVersion
+	req.Node = cl.node
+	var resp RolloutResponse
+	if err := cl.post(PathRollout, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Resolve commits a finished reconstruction.
+func (cl *Client) Resolve(req *ResolveRequest) (*ResolveResponse, error) {
+	req.V = ProtocolVersion
+	req.Node = cl.node
+	var resp ResolveResponse
+	if err := cl.post(PathResolve, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Submit ships one externally captured occurrence into the
+// coordinator's ingest path.
+func (cl *Client) Submit(req *SubmitRequest) (*SubmitResponse, error) {
+	req.V = ProtocolVersion
+	var resp SubmitResponse
+	if err := cl.post(PathSubmit, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Verdicts lists every bucket's triage outcome.
+func (cl *Client) Verdicts() (*VerdictsResponse, error) {
+	hr, err := cl.hc.Get(cl.base + PathVerdicts)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", PathVerdicts, err)
+	}
+	defer hr.Body.Close()
+	var resp VerdictsResponse
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("cluster: decode %s: %w", PathVerdicts, err)
+	}
+	return &resp, nil
+}
+
+// State fetches the coordinator's cluster snapshot.
+func (cl *Client) State() (*ClusterSnapshot, error) {
+	hr, err := cl.hc.Get(cl.base + PathState)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", PathState, err)
+	}
+	defer hr.Body.Close()
+	var snap ClusterSnapshot
+	if err := json.NewDecoder(hr.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("cluster: decode %s: %w", PathState, err)
+	}
+	return &snap, nil
+}

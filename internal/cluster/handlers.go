@@ -1,0 +1,355 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"execrecon/internal/prod"
+	"execrecon/internal/pt"
+)
+
+// maxPollWait bounds every long-poll (lease and fetch) so a dead
+// client can never pin a handler past the endpoint's drain window.
+const maxPollWait = 2 * time.Second
+
+// mount attaches the wire protocol to the coordinator's telemetry
+// mux (telemetry.ServerOptions.Extend).
+func (c *Coordinator) mount(mux *http.ServeMux) {
+	mux.HandleFunc(PathLease, c.handleLease)
+	mux.HandleFunc(PathRenew, c.handleRenew)
+	mux.HandleFunc(PathFetch, c.handleFetch)
+	mux.HandleFunc(PathRollout, c.handleRollout)
+	mux.HandleFunc(PathResolve, c.handleResolve)
+	mux.HandleFunc(PathSubmit, c.handleSubmit)
+	mux.HandleFunc(PathVerdicts, c.handleVerdicts)
+	mux.HandleFunc(PathState, c.handleState)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// okStatus / rejection build the response envelope.
+func okStatus() Status { return Status{V: ProtocolVersion, OK: true} }
+
+func rejection(format string, args ...interface{}) Status {
+	return Status{V: ProtocolVersion, Err: fmt.Sprintf(format, args...)}
+}
+
+// decodeReq parses the body and enforces the protocol version; a
+// false return means the rejection was already written.
+func decodeReq(w http.ResponseWriter, r *http.Request, v interface{}, ver func() int) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("cluster: bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	if got := ver(); got != ProtocolVersion {
+		writeJSON(w, rejection("protocol version mismatch: node speaks v%d, coordinator v%d", got, ProtocolVersion))
+		return false
+	}
+	return true
+}
+
+// clampWait converts a client's poll window to a bounded duration.
+func clampWait(millis int64) time.Duration {
+	d := time.Duration(millis) * time.Millisecond
+	if d < 0 {
+		d = 0
+	}
+	if d > maxPollWait {
+		d = maxPollWait
+	}
+	return d
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeReq(w, r, &req, func() int { return req.V }) {
+		return
+	}
+	c.touchNode(req.Node)
+	deadline := time.Now().Add(clampWait(req.WaitMillis))
+	for {
+		c.mu.Lock()
+		ctl, term, err := c.grantLocked(req.Node)
+		c.mu.Unlock()
+		if err != nil {
+			writeJSON(w, LeaseResponse{Status: rejection("lease grant: %v", err)})
+			return
+		}
+		if ctl != nil {
+			c.logf("cluster: leased %s/%#x term %d to %s", ctl.addr.App, ctl.addr.Key, term, req.Node)
+			writeJSON(w, LeaseResponse{
+				Status: okStatus(), Granted: true,
+				App: ctl.addr.App, Key: ctl.addr.Key, Sig: ctl.sig,
+				Term: term, TTLMillis: c.ttl.Milliseconds(),
+			})
+			return
+		}
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			writeJSON(w, LeaseResponse{Status: okStatus()})
+			return
+		}
+		poll := 50 * time.Millisecond
+		if rem < poll {
+			poll = rem
+		}
+		select {
+		case <-c.dispatch:
+		case <-time.After(poll):
+		case <-c.done:
+			writeJSON(w, LeaseResponse{Status: rejection("coordinator shutting down")})
+			return
+		}
+	}
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req RenewRequest
+	if !decodeReq(w, r, &req, func() int { return req.V }) {
+		return
+	}
+	c.touchNode(req.Node)
+	addr := bucketAddr{req.App, req.Key}
+	c.mu.Lock()
+	ctl := c.ctls[addr]
+	if !ctl.validateLocked(req.Node, req.Term) {
+		c.mu.Unlock()
+		writeJSON(w, RenewResponse{Status: rejection("lease lost")})
+		return
+	}
+	ctl.expiry = time.Now().Add(c.ttl)
+	if req.Iterations > ctl.iterations {
+		ctl.iterations = req.Iterations
+	}
+	err := c.wal.Append(walRecord{
+		T: walRenew, App: req.App, Key: req.Key,
+		Node: req.Node, Term: req.Term, Iterations: req.Iterations,
+	})
+	c.maybeCheckpointLocked()
+	c.mu.Unlock()
+	if err != nil {
+		writeJSON(w, RenewResponse{Status: rejection("wal: %v", err)})
+		return
+	}
+	c.renewed.Add(1)
+	writeJSON(w, RenewResponse{Status: okStatus()})
+}
+
+func (c *Coordinator) handleFetch(w http.ResponseWriter, r *http.Request) {
+	var req FetchRequest
+	if !decodeReq(w, r, &req, func() int { return req.V }) {
+		return
+	}
+	c.touchNode(req.Node)
+	addr := bucketAddr{req.App, req.Key}
+	deadline := time.Now().Add(clampWait(req.WaitMillis))
+	for {
+		c.mu.Lock()
+		ctl := c.ctls[addr]
+		valid := ctl.validateLocked(req.Node, req.Term)
+		var notify chan struct{}
+		if valid {
+			notify = ctl.notify
+		}
+		c.mu.Unlock()
+		if !valid {
+			writeJSON(w, FetchResponse{Status: rejection("lease lost")})
+			return
+		}
+		// Scan the archive for the next matching record. The node's
+		// cursor (AfterSeq) plus exact version matching skips records
+		// banked for other apps sharing the key and records from stale
+		// deployments.
+		for _, ri := range c.store.Records(req.Key) {
+			if ri.Seq < req.AfterSeq || ri.Meta.App != req.App ||
+				ri.Meta.Lost > 0 || ri.Meta.Version != req.Version {
+				continue
+			}
+			raw, info, err := c.store.ReadRaw(req.Key, ri.Seq)
+			if err != nil {
+				c.logf("cluster: fetch %s/%#x seq %d: %v", req.App, req.Key, ri.Seq, err)
+				continue
+			}
+			writeJSON(w, FetchResponse{
+				Status: okStatus(), Found: true,
+				Seq: info.Seq, Raw: raw, Lost: info.Meta.Lost,
+				Seed: info.Meta.Seed, Instrs: info.Meta.Instrs,
+			})
+			return
+		}
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			writeJSON(w, FetchResponse{Status: okStatus()})
+			return
+		}
+		poll := 500 * time.Millisecond
+		if rem < poll {
+			poll = rem
+		}
+		select {
+		case <-notify:
+		case <-time.After(poll):
+		case <-c.done:
+			writeJSON(w, FetchResponse{Status: rejection("coordinator shutting down")})
+			return
+		}
+	}
+}
+
+func (c *Coordinator) handleRollout(w http.ResponseWriter, r *http.Request) {
+	var req RolloutRequest
+	if !decodeReq(w, r, &req, func() int { return req.V }) {
+		return
+	}
+	c.touchNode(req.Node)
+	addr := bucketAddr{req.App, req.Key}
+	if req.Version != len(req.Chain) {
+		writeJSON(w, RolloutResponse{Status: rejection("version %d does not match chain length %d", req.Version, len(req.Chain))})
+		return
+	}
+	c.mu.Lock()
+	ctl := c.ctls[addr]
+	if !ctl.validateLocked(req.Node, req.Term) {
+		c.mu.Unlock()
+		writeJSON(w, RolloutResponse{Status: rejection("lease lost")})
+		return
+	}
+	if req.Version <= ctl.version {
+		// Replayed request (re-dispatched node retreading the chain):
+		// the deployment is already at or past this version.
+		c.mu.Unlock()
+		writeJSON(w, RolloutResponse{Status: okStatus()})
+		return
+	}
+	c.mu.Unlock()
+
+	// Rebuild outside the lock — instrumentation is CPU work.
+	mod, err := c.rebuildModule(req.App, req.Chain)
+	if err != nil {
+		writeJSON(w, RolloutResponse{Status: rejection("%v", err)})
+		return
+	}
+
+	c.mu.Lock()
+	if !ctl.validateLocked(req.Node, req.Term) {
+		c.mu.Unlock()
+		writeJSON(w, RolloutResponse{Status: rejection("lease lost")})
+		return
+	}
+	if req.Version <= ctl.version {
+		c.mu.Unlock()
+		writeJSON(w, RolloutResponse{Status: okStatus()})
+		return
+	}
+	if err := c.wal.Append(walRecord{
+		T: walRollout, App: req.App, Key: req.Key,
+		Node: req.Node, Term: req.Term, Version: req.Version,
+	}); err != nil {
+		c.mu.Unlock()
+		writeJSON(w, RolloutResponse{Status: rejection("wal: %v", err)})
+		return
+	}
+	ctl.version = req.Version
+	c.mu.Unlock()
+	if err := c.fleet.Rollout(req.App, mod, req.Version); err != nil {
+		writeJSON(w, RolloutResponse{Status: rejection("%v", err)})
+		return
+	}
+	writeJSON(w, RolloutResponse{Status: okStatus()})
+}
+
+func (c *Coordinator) handleResolve(w http.ResponseWriter, r *http.Request) {
+	var req ResolveRequest
+	if !decodeReq(w, r, &req, func() int { return req.V }) {
+		return
+	}
+	c.touchNode(req.Node)
+	if req.Report == nil {
+		writeJSON(w, ResolveResponse{Status: rejection("resolve without a report")})
+		return
+	}
+	addr := bucketAddr{req.App, req.Key}
+	c.mu.Lock()
+	ctl := c.ctls[addr]
+	if ctl != nil && ctl.state == ctlResolved {
+		c.mu.Unlock()
+		writeJSON(w, ResolveResponse{Status: okStatus()}) // idempotent replay
+		return
+	}
+	if !ctl.validateLocked(req.Node, req.Term) {
+		c.mu.Unlock()
+		writeJSON(w, ResolveResponse{Status: rejection("lease lost")})
+		return
+	}
+	if err := c.wal.Append(walRecord{
+		T: walResolve, App: req.App, Key: req.Key,
+		Node: req.Node, Term: req.Term, Sig: ctl.sig, Report: req.Report,
+	}); err != nil {
+		c.mu.Unlock()
+		writeJSON(w, ResolveResponse{Status: rejection("wal: %v", err)})
+		return
+	}
+	ctl.state = ctlResolved
+	ctl.report = req.Report
+	ctl.node = ""
+	if n := len(req.Report.Iterations); n > ctl.iterations {
+		ctl.iterations = n
+	}
+	b := ctl.b
+	c.resolvedN.Add(1)
+	c.maybeCheckpointLocked()
+	c.mu.Unlock()
+	c.fleet.ResolveBucket(b, req.Report)
+	c.logf("cluster: bucket %s/%#x resolved by %s (reproduced=%v verified=%v)",
+		req.App, req.Key, req.Node, req.Report.Reproduced, req.Report.Verified)
+	writeJSON(w, ResolveResponse{Status: okStatus()})
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if !decodeReq(w, r, &req, func() int { return req.V }) {
+		return
+	}
+	if req.Failure == nil {
+		writeJSON(w, SubmitResponse{Status: rejection("submit without a failure signature")})
+		return
+	}
+	if req.Lost > 0 {
+		writeJSON(w, SubmitResponse{Status: rejection("trace ring overflowed (%d bytes lost); enlarge the capture ring", req.Lost)})
+		return
+	}
+	if _, ok := c.base[req.App]; !ok {
+		writeJSON(w, SubmitResponse{Status: rejection("unknown app %q", req.App)})
+		return
+	}
+	var ring *pt.Ring
+	if len(req.Raw) > 0 {
+		ring = pt.NewRing(len(req.Raw))
+		ring.Write(req.Raw)
+	}
+	accepted := c.fleet.Submit(&prod.TraceMsg{
+		App:     req.App,
+		Machine: req.Machine,
+		Version: req.Version,
+		Ring:    ring,
+		Failure: req.Failure,
+		Seed:    req.Seed,
+		Instrs:  req.Instrs,
+	})
+	c.submits.Add(1)
+	writeJSON(w, SubmitResponse{Status: okStatus(), Accepted: accepted})
+}
+
+func (c *Coordinator) handleVerdicts(w http.ResponseWriter, r *http.Request) {
+	snap := c.Snapshot()
+	writeJSON(w, VerdictsResponse{Status: okStatus(), Buckets: snap.Buckets})
+}
+
+func (c *Coordinator) handleState(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.Snapshot())
+}

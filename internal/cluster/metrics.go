@@ -1,0 +1,37 @@
+package cluster
+
+import "execrecon/internal/telemetry"
+
+// registerMetrics publishes the er_cluster_* series on the shared
+// registry. Counters and gauges are collection-time callbacks over
+// the coordinator's own atomics — one source of truth for /metrics,
+// /debug/er, and /v1/state alike.
+func (c *Coordinator) registerMetrics(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("er_cluster_nodes_live",
+		"Triage nodes heard from within the liveness window (3×TTL).",
+		func() float64 { return float64(c.nodesLive()) })
+	r.CounterFunc("er_cluster_leases_granted_total",
+		"Bucket leases granted to triage nodes.",
+		func() float64 { return float64(c.granted.Load()) })
+	r.CounterFunc("er_cluster_leases_renewed_total",
+		"Lease heartbeat renewals accepted.",
+		func() float64 { return float64(c.renewed.Load()) })
+	r.CounterFunc("er_cluster_leases_expired_total",
+		"Leases expired after a missed TTL (node death or partition).",
+		func() float64 { return float64(c.expired.Load()) })
+	r.CounterFunc("er_cluster_leases_redispatched_total",
+		"Buckets re-dispatched to a surviving node after lease loss.",
+		func() float64 { return float64(c.redispatched.Load()) })
+	r.CounterFunc("er_cluster_buckets_resolved_total",
+		"Buckets resolved by remote triage nodes.",
+		func() float64 { return float64(c.resolvedN.Load()) })
+	r.CounterFunc("er_cluster_submits_total",
+		"Externally submitted occurrences (er client mode).",
+		func() float64 { return float64(c.submits.Load()) })
+	r.GaugeFunc("er_cluster_wal_bytes",
+		"Current size of the lease/commit write-ahead log.",
+		func() float64 { return float64(c.wal.Bytes()) })
+}

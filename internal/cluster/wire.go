@@ -1,0 +1,250 @@
+// Package cluster distributes the fleet's triage tier across
+// processes: a coordinator owns the production half (producer
+// machines, ingest, the bucket table, and the durable trace archive)
+// and leases failure buckets to remote triage nodes over a versioned
+// HTTP/JSON wire protocol layered on the telemetry introspection
+// endpoint.
+//
+// The design leans on two durability anchors:
+//
+//   - The tracestore is the source of truth for occurrences. In
+//     remote-node mode the fleet never queues reoccurrences in RAM —
+//     every one is banked in the archive and nodes *fetch* them over
+//     the wire, each tracking its own replay cursor. A node that dies
+//     mid-reconstruction loses nothing: the survivor that inherits the
+//     bucket replays the same banked records from sequence zero.
+//   - A write-ahead lease/commit log (wal.go) makes the coordinator
+//     itself restartable: lease grants, renewals, expiries, rollouts,
+//     and resolutions are appended before they take effect, and a
+//     restarted coordinator replays the log to recover resolved
+//     verdicts (never re-counting them) and to fence still-in-flight
+//     leases (their terms stay monotonic; the buckets are
+//     re-dispatched, never re-armed).
+//
+// Buckets are leases: a grant carries a monotonically increasing term
+// and a TTL; nodes renew at TTL/3 and every subsequent RPC (fetch,
+// rollout, resolve) carries the term, so a node whose lease expired —
+// because it crashed, stalled, or was partitioned — is fenced the
+// moment it reappears: the coordinator answers OK=false and the
+// zombie abandons the bucket.
+//
+// Rollouts are stateless on the wire: a node ships the *full*
+// accumulated instrumentation-site chain, and the coordinator rebuilds
+// the instrumented module from the app's base module by applying the
+// chain cumulatively (keyselect.Instrument is pure), so rollout
+// requests are idempotent and survive coordinator restarts.
+package cluster
+
+import (
+	"execrecon/internal/core"
+	"execrecon/internal/symex"
+	"execrecon/internal/vm"
+)
+
+// ProtocolVersion is the wire protocol revision. Every request and
+// response carries it in V; the coordinator rejects mismatches with
+// OK=false so mixed deployments fail loudly instead of corrupting a
+// reconstruction.
+const ProtocolVersion = 1
+
+// Wire paths (mounted on the coordinator's telemetry mux).
+const (
+	PathLease    = "/v1/lease"
+	PathRenew    = "/v1/renew"
+	PathFetch    = "/v1/fetch"
+	PathRollout  = "/v1/rollout"
+	PathResolve  = "/v1/resolve"
+	PathSubmit   = "/v1/submit"
+	PathVerdicts = "/v1/verdicts"
+	PathState    = "/v1/state"
+)
+
+// Status is the common response envelope: OK=false carries a
+// protocol-level rejection (stale term, lost lease, version mismatch)
+// in Err; transport/encoding failures use HTTP status codes instead.
+type Status struct {
+	V   int    `json:"v"`
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+}
+
+// LeaseRequest asks the coordinator for the next unleased bucket. The
+// coordinator long-polls up to WaitMillis before answering
+// Granted=false.
+type LeaseRequest struct {
+	V          int    `json:"v"`
+	Node       string `json:"node"`
+	WaitMillis int64  `json:"wait_millis,omitempty"`
+}
+
+// LeaseResponse grants (or declines) a bucket lease. Key is the
+// bucket's archive key; Sig the full failure signature (keys can
+// collide, signatures cannot); Term the fencing token every follow-up
+// RPC must echo; TTLMillis the heartbeat deadline.
+type LeaseResponse struct {
+	Status
+	Granted   bool        `json:"granted"`
+	App       string      `json:"app,omitempty"`
+	Key       uint64      `json:"key,omitempty"`
+	Sig       *vm.Failure `json:"sig,omitempty"`
+	Term      uint64      `json:"term,omitempty"`
+	TTLMillis int64       `json:"ttl_millis,omitempty"`
+}
+
+// RenewRequest is the lease heartbeat (sent at TTL/3). Iterations
+// reports reconstruction progress for the lease table.
+type RenewRequest struct {
+	V          int    `json:"v"`
+	Node       string `json:"node"`
+	App        string `json:"app"`
+	Key        uint64 `json:"key"`
+	Term       uint64 `json:"term"`
+	Iterations int    `json:"iterations,omitempty"`
+}
+
+// RenewResponse: OK=false means the lease is lost (expired and
+// re-dispatched, or fenced by a newer term) — the node must abandon
+// the bucket immediately.
+type RenewResponse struct {
+	Status
+}
+
+// FetchRequest asks for the next banked occurrence of the leased
+// bucket: the first archived record with sequence >= AfterSeq whose
+// metadata matches the node's app and current deployment version.
+// The node owns its replay cursor (AfterSeq), which keeps the
+// coordinator stateless per fetch and makes re-dispatch a replay from
+// zero. The coordinator long-polls up to WaitMillis when nothing
+// matches yet.
+type FetchRequest struct {
+	V          int    `json:"v"`
+	Node       string `json:"node"`
+	App        string `json:"app"`
+	Key        uint64 `json:"key"`
+	Term       uint64 `json:"term"`
+	AfterSeq   uint64 `json:"after_seq"`
+	Version    int    `json:"version"`
+	WaitMillis int64  `json:"wait_millis,omitempty"`
+}
+
+// FetchResponse carries one banked occurrence (Found) or nothing
+// matched within the poll window (!Found, poll again). Raw is the
+// materialized trace blob (empty for untraced occurrences); Lost the
+// ring bytes lost to wrapping.
+type FetchResponse struct {
+	Status
+	Found  bool   `json:"found"`
+	Seq    uint64 `json:"seq,omitempty"`
+	Raw    []byte `json:"raw,omitempty"`
+	Lost   uint64 `json:"lost,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	Instrs int64  `json:"instrs,omitempty"`
+}
+
+// RolloutRequest asks the coordinator to deploy the node's
+// re-instrumented module to the app's producer machines. Chain is the
+// *full* accumulated site chain (one entry per stall iteration);
+// Version must equal len(Chain). Shipping the whole chain instead of
+// the module keeps the request stateless and idempotent: the
+// coordinator rebuilds the module from the app's base by applying the
+// chain cumulatively.
+type RolloutRequest struct {
+	V       int               `json:"v"`
+	Node    string            `json:"node"`
+	App     string            `json:"app"`
+	Key     uint64            `json:"key"`
+	Term    uint64            `json:"term"`
+	Version int               `json:"version"`
+	Chain   [][]symex.SiteKey `json:"chain"`
+}
+
+// RolloutResponse acknowledges (or fences) a rollout.
+type RolloutResponse struct {
+	Status
+}
+
+// ResolveRequest commits a finished reconstruction: the node's full
+// pipeline report, including the reproducing test case and the
+// verification verdict.
+type ResolveRequest struct {
+	V      int          `json:"v"`
+	Node   string       `json:"node"`
+	App    string       `json:"app"`
+	Key    uint64       `json:"key"`
+	Term   uint64       `json:"term"`
+	Report *core.Report `json:"report"`
+}
+
+// ResolveResponse acknowledges (or fences) a resolution.
+type ResolveResponse struct {
+	Status
+}
+
+// SubmitRequest ships one externally captured failure occurrence into
+// the coordinator's ingest path — er's client mode. Raw is the trace
+// ring contents; a wrapped ring (Lost > 0) is rejected, since triage
+// cannot decode a blob missing its prefix.
+type SubmitRequest struct {
+	V       int         `json:"v"`
+	App     string      `json:"app"`
+	Machine int         `json:"machine,omitempty"`
+	Version int         `json:"version"`
+	Failure *vm.Failure `json:"failure"`
+	Raw     []byte      `json:"raw,omitempty"`
+	Lost    uint64      `json:"lost,omitempty"`
+	Seed    int64       `json:"seed,omitempty"`
+	Instrs  int64       `json:"instrs,omitempty"`
+}
+
+// SubmitResponse reports whether ingest accepted the occurrence.
+type SubmitResponse struct {
+	Status
+	Accepted bool `json:"accepted"`
+}
+
+// BucketVerdict is one bucket's triage outcome as served by
+// /v1/verdicts.
+type BucketVerdict struct {
+	App          string `json:"app"`
+	Key          uint64 `json:"key"`
+	Sig          string `json:"sig"`
+	State        string `json:"state"`
+	Node         string `json:"node,omitempty"`
+	Term         uint64 `json:"term"`
+	Iterations   int    `json:"iterations"`
+	Redispatches int    `json:"redispatches"`
+	Reproduced   bool   `json:"reproduced"`
+	Verified     bool   `json:"verified"`
+	FailReason   string `json:"fail_reason,omitempty"`
+}
+
+// VerdictsResponse lists every bucket the coordinator knows about.
+type VerdictsResponse struct {
+	Status
+	Buckets []BucketVerdict `json:"buckets"`
+}
+
+// NodeInfo is one triage node's liveness row.
+type NodeInfo struct {
+	Name     string `json:"name"`
+	Leases   int    `json:"leases"`
+	LastSeen string `json:"last_seen"`
+}
+
+// ClusterSnapshot is the coordinator's cluster section of /debug/er
+// (and the /v1/state body): node liveness, the lease table, and the
+// re-dispatch / WAL counters that tell the crash-tolerance story.
+type ClusterSnapshot struct {
+	V            int             `json:"v"`
+	Nodes        []NodeInfo      `json:"nodes"`
+	NodesLive    int             `json:"nodes_live"`
+	Buckets      []BucketVerdict `json:"buckets"`
+	Granted      int64           `json:"leases_granted"`
+	Renewed      int64           `json:"leases_renewed"`
+	Expired      int64           `json:"leases_expired"`
+	Redispatched int64           `json:"leases_redispatched"`
+	Resolved     int64           `json:"buckets_resolved"`
+	Submits      int64           `json:"submits"`
+	WALBytes     int64           `json:"wal_bytes"`
+	Recovered    int             `json:"recovered_buckets"`
+}

@@ -117,6 +117,17 @@ type Options struct {
 	// hot traces live only in RAM and overflow drops, the previous
 	// behavior.
 	Store *tracestore.Store
+	// Remote, when set, switches the fleet to remote-node mode: no
+	// in-process pipeline workers run. Ingest still interns buckets
+	// and banks every reoccurrence in the Store (which becomes the
+	// durable source of truth and is therefore required), but instead
+	// of scheduling a local pipeline, new buckets are handed to the
+	// dispatcher — the cluster coordinator leases them to triage
+	// nodes, which replay the banked occurrences over the wire and
+	// report back through Rollout and ResolveBucket. Occurrences are
+	// never queued in RAM in this mode; the archive is the only
+	// delivery path, which is what makes a node crash recoverable.
+	Remote RemoteTriage
 	// Telemetry, when set, is the shared metrics registry the whole
 	// subsystem reports into: fleet-level gauges/counters
 	// (er_fleet_*), each bucket pipeline's core stage histograms and
@@ -179,6 +190,22 @@ func (o *Options) withDefaults(apps int) Options {
 	return v
 }
 
+// RemoteTriage is the seam of the fleet's remote-node mode: the
+// consumer (the cluster coordinator) that dispatches buckets to
+// out-of-process triage nodes instead of the in-process worker pool.
+// Both callbacks are invoked from ingest drainer goroutines and must
+// not block for long — they gate triage throughput.
+type RemoteTriage interface {
+	// NewBucket is called exactly once per distinct (app, signature)
+	// bucket, when its first occurrence is interned.
+	NewBucket(b *Bucket)
+	// Banked is called after an occurrence is durably appended to the
+	// trace archive under the bucket's key with the given sequence
+	// number — the signal that wakes a node blocked waiting for the
+	// next reoccurrence.
+	Banked(b *Bucket, seq uint64)
+}
+
 // Fleet wires machines, ingest, triage, and the pipeline scheduler
 // together.
 type Fleet struct {
@@ -237,6 +264,9 @@ type BucketResult struct {
 func New(apps []App, opts Options) (*Fleet, error) {
 	if len(apps) == 0 {
 		return nil, fmt.Errorf("fleet: no applications")
+	}
+	if opts.Remote != nil && opts.Store == nil {
+		return nil, fmt.Errorf("fleet: remote-node mode requires a trace store (the archive is the delivery path)")
 	}
 	o := opts.withDefaults(len(apps))
 	f := &Fleet{
@@ -334,9 +364,11 @@ func (f *Fleet) Start() error {
 		f.wg.Add(1)
 		go f.drainShard(s)
 	}
-	for w := 0; w < f.opts.Workers; w++ {
-		f.wg.Add(1)
-		go f.worker()
+	if f.opts.Remote == nil {
+		for w := 0; w < f.opts.Workers; w++ {
+			f.wg.Add(1)
+			go f.worker()
+		}
 	}
 	for _, g := range f.byName {
 		for _, m := range g.machines {
@@ -363,6 +395,27 @@ func (f *Fleet) drainShard(s int) {
 			return
 		case msg := <-sh:
 			b, isNew := f.table.Intern(msg.Failure, msg.App)
+			if r := f.opts.Remote; r != nil {
+				// Remote-node mode: bank the occurrence durably and
+				// notify the dispatcher — the archive, not RAM, is the
+				// delivery path to the (possibly restarted) node.
+				b.occurrences.Add(1)
+				if isNew {
+					f.logf("fleet: new failure bucket %d (%s): %v [remote]", b.ID, b.App, b.Sig)
+					r.NewBucket(b)
+				}
+				seq, err := f.opts.Store.AppendRing(msg.Failure, tracestore.Meta{
+					App: msg.App, Machine: msg.Machine, Version: msg.Version,
+					Seed: msg.Seed, Instrs: msg.Instrs,
+				}, msg.Ring)
+				if err != nil {
+					b.badDrops.Add(1)
+					f.logf("fleet: bucket %d (%s): archive append: %v", b.ID, b.App, err)
+					continue
+				}
+				r.Banked(b, seq)
+				continue
+			}
 			var seq uint64
 			archived := false
 			if st := f.opts.Store; st != nil {
@@ -594,6 +647,57 @@ func (f *Fleet) replaySpilled(b *Bucket, version int) (*core.Occurrence, bool) {
 	}
 }
 
+// Rollout deploys mod as the named app's next versioned binary across
+// its producer machines — the remote-node analog of the rollout a
+// local pipeline triggers from feedOccurrence. The cluster coordinator
+// calls it when a triage node's pipeline selects key data values.
+func (f *Fleet) Rollout(app string, mod *ir.Module, version int) error {
+	g := f.byName[app]
+	if g == nil {
+		return fmt.Errorf("fleet: rollout names unknown app %q", app)
+	}
+	dep := prod.Deployment{Module: mod, Version: version}
+	for _, m := range g.machines {
+		m.Deploy(dep)
+	}
+	f.logf("fleet: app %s: rolled out instrumented deployment v%d [remote]", app, version)
+	return nil
+}
+
+// ResolveBucket finishes a bucket whose reconstruction ran on a remote
+// triage node: it records the report, retires the app's machines and
+// the bucket's archive key, and signals completion toward Wait. It
+// returns false (and does nothing) if the bucket was already resolved
+// — the idempotence a coordinator replaying its commit log relies on.
+func (f *Fleet) ResolveBucket(b *Bucket, rep *core.Report) bool {
+	if !b.remoteResolved.CompareAndSwap(false, true) {
+		return false
+	}
+	if st := f.opts.Store; st != nil {
+		st.Retire(tracestore.KeyOf(b.Sig))
+	}
+	b.report.Store(rep)
+	b.iterations.Store(int32(len(rep.Iterations)))
+	if rep.Reproduced {
+		b.state.Store(int32(BucketReproduced))
+	} else {
+		b.state.Store(int32(BucketFailed))
+	}
+	if g := f.byName[b.App]; g != nil {
+		for _, m := range g.machines {
+			m.Deploy(prod.Deployment{})
+		}
+	}
+	f.bucketDone(b)
+	return true
+}
+
+// Submit offers an externally produced trace message to the fleet's
+// ingest path — the coordinator's entry point for occurrences shipped
+// over the wire (er's client mode) rather than by in-process machines.
+// It reports whether ingest accepted the message.
+func (f *Fleet) Submit(msg *prod.TraceMsg) bool { return f.ingest.Emit(msg) }
+
 func (f *Fleet) bucketDone(b *Bucket) {
 	b.doneAt.Store(time.Now().UnixNano())
 	f.resolved.Add(1)
@@ -666,6 +770,20 @@ func (f *Fleet) Wait() (*Result, error) {
 		f.result = res
 	})
 	return f.result, f.waitErr
+}
+
+// Abandon tears the fleet down immediately — machines, drainers, and
+// workers stop without waiting for outstanding buckets to resolve.
+// It is the crash-simulation path of the cluster tests and the
+// shutdown of a coordinator being killed; normal runs use Wait.
+func (f *Fleet) Abandon() {
+	if !f.started.Load() {
+		return
+	}
+	f.cancel()
+	f.ingest.Close()
+	f.wg.Wait()
+	f.server.Close()
 }
 
 // Run is the one-shot convenience: New + Start + Wait.

@@ -76,6 +76,10 @@ type Bucket struct {
 	badDrops     atomic.Int64 // occurrences dropped as undecodable/truncated
 	state        atomic.Int32
 	iterations   atomic.Int32 // analysis iterations completed so far
+	// remoteResolved latches the first ResolveBucket call in remote-node
+	// mode, making resolution idempotent across lease re-dispatch and
+	// coordinator commit-log replay.
+	remoteResolved atomic.Bool
 	// solverStats is the pipeline's persistent-solver progress,
 	// mirrored after each fed occurrence (nil when the fleet runs with
 	// fresh-per-query solving). One pointer store publishes the whole

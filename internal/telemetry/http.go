@@ -1,11 +1,13 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -22,6 +24,11 @@ type ServerOptions struct {
 	Debug func() interface{}
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
+	// Extend, when set, is called with the mux after the standard
+	// routes are mounted, so subsystems can layer their own API on the
+	// same endpoint (the cluster coordinator mounts its versioned
+	// /v1/* wire protocol this way).
+	Extend func(mux *http.ServeMux)
 }
 
 // NewHandler returns the introspection mux:
@@ -62,14 +69,26 @@ func NewHandler(opts ServerOptions) http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	if opts.Extend != nil {
+		opts.Extend(mux)
+	}
 	return mux
 }
 
 // Server is a running introspection endpoint.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln     net.Listener
+	srv    *http.Server
+	served chan struct{} // closed when the serve goroutine exits
+	once   sync.Once
+	err    error
 }
+
+// drainTimeout bounds how long Close waits for in-flight handlers
+// before tearing connections down. Handlers are fast (JSON/metric
+// dumps), so a stuck connection past this is a hung client, not a
+// draining response.
+const drainTimeout = 5 * time.Second
 
 // Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
 // introspection handler on it until Close.
@@ -79,13 +98,15 @@ func Serve(addr string, opts ServerOptions) (*Server, error) {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		ln:  ln,
-		srv: &http.Server{Handler: NewHandler(opts), ReadHeaderTimeout: 5 * time.Second},
+		ln:     ln,
+		srv:    &http.Server{Handler: NewHandler(opts), ReadHeaderTimeout: 5 * time.Second},
+		served: make(chan struct{}),
 	}
 	go func() {
 		// ErrServerClosed after Close is the expected shutdown path;
 		// any other serve error leaves the endpoint dark but must not
 		// take the reconstruction service down with it.
+		defer close(s.served)
 		_ = s.srv.Serve(ln)
 	}()
 	return s, nil
@@ -99,10 +120,26 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the endpoint. Nil-safe and idempotent.
+// Close stops the endpoint deterministically: the listener stops
+// accepting, in-flight handlers drain (bounded by drainTimeout, after
+// which lingering connections are torn down), and the serve goroutine
+// is joined before Close returns — so repeated start/stop cycles
+// (multi-node tests especially) can never leak the goroutine or the
+// port. Nil-safe and idempotent.
 func (s *Server) Close() error {
 	if s == nil || s.srv == nil {
 		return nil
 	}
-	return s.srv.Close()
+	s.once.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		err := s.srv.Shutdown(ctx)
+		if err != nil {
+			// Drain window expired: force-close whatever is left.
+			_ = s.srv.Close()
+		}
+		<-s.served
+		s.err = err
+	})
+	return s.err
 }
