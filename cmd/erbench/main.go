@@ -31,6 +31,13 @@
 //	          compression over archived reoccurrences, ingest
 //	          throughput, and verdict parity when every trace is read
 //	          back through the store's streaming reader
+//	absint    abstract-interpretation ablation: each bug reproduced
+//	          with the interval/known-bits pre-pass off vs on,
+//	          comparing verdict parity, abstractly-discharged query
+//	          rate, CNF size reduction from bit-pinning, cumulative
+//	          solver time, and statically mined invariants verified on
+//	          the reproduced input (-absint-widen tunes the fixpoint
+//	          widening threshold)
 //	slice     static failure-slice ablation: full symbolic shepherding
 //	          vs slice-pruned (out-of-slice instructions execute
 //	          natively), comparing symbolic dispatch counts, verdicts,
@@ -46,7 +53,10 @@
 //	          whole population through the fleet under mixed
 //	          benign/failing traffic, reporting per-pattern
 //	          reproduction rates, iteration counts, and recording-cost
-//	          distributions
+//	          distributions; -absint runs the population with the
+//	          abstract-interpretation pre-pass enabled across every
+//	          pipeline (discharge, narrowed blasting, provable lint,
+//	          invariant mining)
 //	all       everything above
 //
 // -json <dir> additionally writes the telemetry experiment's
@@ -68,7 +78,8 @@ import (
 var experiments = []string{
 	"fig1", "table1", "offline", "fig5", "fig6", "random",
 	"accuracy", "rept", "mimic", "ablation", "mt", "fleet",
-	"solvecache", "tracestore", "slice", "telemetry", "corpus",
+	"solvecache", "tracestore", "absint", "slice", "telemetry",
+	"corpus",
 }
 
 func validExp(name string) bool {
@@ -96,6 +107,8 @@ func main() {
 	portfolio := flag.Int("portfolio", 0, "racing CDCL workers per query for the solvecache experiment's third mode (<=1 = off)")
 	cubeVars := flag.Int("cube-vars", 0, "cube-and-conquer split variables for the solvecache portfolio mode (0 = no cubes)")
 	speculate := flag.Bool("speculate", false, "speculatively pre-solve stall constraints during waits in the solvecache portfolio mode")
+	useAbsint := flag.Bool("absint", false, "enable the abstract-interpretation pre-pass across the corpus experiment's pipelines")
+	absintWiden := flag.Int("absint-widen", 0, "fixpoint widening threshold for the abstract pass (0 = default)")
 	corpusN := flag.Int("corpus-n", 200, "generated scenarios for the corpus experiment")
 	seed := flag.Int64("seed", 1, "generation master seed for the corpus experiment")
 	maxOverhead := flag.Float64("max-overhead", 5.0, "telemetry experiment failure threshold in percent")
@@ -169,6 +182,29 @@ func main() {
 	}
 	if (*cubeVars > 0 || *speculate) && *portfolio <= 1 {
 		fmt.Fprintln(os.Stderr, "erbench: -cube-vars/-speculate require -portfolio > 1")
+		os.Exit(2)
+	}
+	// Abstract-pass knobs: the ablation *is* the off-vs-on comparison,
+	// so explicitly forcing -absint=false alongside -exp absint is a
+	// contradiction; a negative widening threshold would never
+	// stabilize the fixpoint; and tuning the threshold is meaningless
+	// when nothing runs the pass.
+	absintSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "absint" {
+			absintSet = true
+		}
+	})
+	if absintSet && !*useAbsint && *exp == "absint" {
+		fmt.Fprintln(os.Stderr, "erbench: -absint=false contradicts -exp absint (the ablation runs the pass by definition)")
+		os.Exit(2)
+	}
+	if *absintWiden < 0 {
+		fmt.Fprintf(os.Stderr, "erbench: -absint-widen must be >= 0 (got %d)\n", *absintWiden)
+		os.Exit(2)
+	}
+	if *absintWiden > 0 && !*useAbsint && *exp != "absint" && *exp != "all" {
+		fmt.Fprintln(os.Stderr, "erbench: -absint-widen requires -exp absint or -absint")
 		os.Exit(2)
 	}
 	if *maxOverhead <= 0 {
@@ -410,6 +446,28 @@ func main() {
 		}
 		fmt.Fprintln(out)
 	}
+	if run("absint") {
+		fmt.Fprintln(out, "== abstract-interpretation ablation (pre-pass off vs on) ==")
+		opts := bench.AbsintOptions{Widen: *absintWiden}
+		if *app != "" {
+			opts.Only = []string{*app}
+		}
+		if log != nil {
+			opts.Log = log
+		}
+		r, err := bench.RunAbsint(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "absint:", err)
+			ok = false
+		} else {
+			bench.RenderAbsint(out, r)
+			if !r.AllVerdictsMatch {
+				fmt.Fprintln(os.Stderr, "absint: verdict parity violated (see table)")
+				ok = false
+			}
+		}
+		fmt.Fprintln(out)
+	}
 	if run("slice") {
 		fmt.Fprintln(out, "== static failure-slice ablation (full vs slice-pruned symbex) ==")
 		opts := bench.SliceOptions{}
@@ -470,7 +528,14 @@ func main() {
 	}
 	if run("corpus") {
 		fmt.Fprintln(out, "== population-scale reproduction over generated scenarios ==")
-		opts := bench.CorpusOptions{N: *corpusN, Seed: uint64(*seed), Workers: *workers, Pace: *pace}
+		opts := bench.CorpusOptions{
+			N:           *corpusN,
+			Seed:        uint64(*seed),
+			Workers:     *workers,
+			Pace:        *pace,
+			Absint:      *useAbsint,
+			AbsintWiden: *absintWiden,
+		}
 		if log != nil {
 			opts.Log = log
 		}

@@ -67,8 +67,18 @@ func main() {
 		fatal(err)
 	}
 	if *lint {
+		// CompileWithLint already includes the abstract interpreter's
+		// rules: proven OOB and overflow fail the run, single-outcome
+		// branches stay advisory.
+		fatalFinding := false
 		for _, f := range findings {
 			fmt.Fprintf(os.Stderr, "ertrace: lint: %s\n", f)
+			if er.ErrorLevel(f.Rule) {
+				fatalFinding = true
+			}
+		}
+		if fatalFinding {
+			os.Exit(1)
 		}
 	}
 	if *dumpCFG {

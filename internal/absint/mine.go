@@ -1,0 +1,61 @@
+package absint
+
+import (
+	"sort"
+
+	"execrecon/internal/invariants"
+)
+
+// maxMined bounds the candidate list: beyond this the facts are
+// mostly noise and the verification run stops being cheap.
+const maxMined = 256
+
+// Mine converts the fixpoint's parameter and return summaries into
+// candidate invariants for internal/invariants. Only informative
+// facts survive: a bound must be strictly tighter than the 64-bit
+// range, and the value must not straddle the signed wrap (the
+// invariant engine observes int64 views). The candidates are
+// hypotheses — callers must run invariants.VerifyStatic against a
+// reproduced input before assuming any of them.
+func Mine(mf *ModuleFacts) []invariants.StaticCandidate {
+	var out []invariants.StaticCandidate
+	names := make([]string, 0, len(mf.Funcs))
+	for name := range mf.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ff := mf.Funcs[name]
+		if !ff.Reached {
+			continue
+		}
+		for i, p := range ff.Params {
+			if c, ok := candidateFrom(name+":enter", i, p); ok {
+				out = append(out, c)
+			}
+		}
+		if c, ok := candidateFrom(name+":exit", -1, ff.Ret); ok {
+			out = append(out, c)
+		}
+		if len(out) >= maxMined {
+			out = out[:maxMined]
+			break
+		}
+	}
+	return out
+}
+
+func candidateFrom(point string, varIdx int, v Val) (invariants.StaticCandidate, bool) {
+	if v.IsBottom() || v.PKind != PtrNone {
+		return invariants.StaticCandidate{}, false
+	}
+	lo, hi := signedBounds(v, 64)
+	nonzero := v.Lo >= 1
+	full := lo == -1<<63 && hi == 1<<63-1
+	if full && !nonzero {
+		return invariants.StaticCandidate{}, false // says nothing
+	}
+	return invariants.StaticCandidate{
+		Point: point, Var: varIdx, Min: lo, Max: hi, Nonzero: nonzero,
+	}, true
+}

@@ -1,0 +1,124 @@
+package absint
+
+import (
+	"math/rand"
+	"testing"
+
+	"execrecon/internal/expr"
+	"execrecon/internal/ir"
+	"execrecon/internal/vm"
+)
+
+// randValWith draws a random abstract value at width w together with a
+// concrete member of it.
+func randValWith(r *rand.Rand, w uint) (Val, uint64) {
+	m := mask(w)
+	x := r.Uint64() & m
+	switch r.Intn(5) {
+	case 0:
+		return ConstV(x, w), x
+	case 1:
+		return ConstV(x, w).Join(ConstV(r.Uint64()&m, w), w), x
+	case 2:
+		lo, hi := x, r.Uint64()&m
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Range(lo, hi, w), x // lo == x or hi == x; lo is a member
+	case 3:
+		mk := r.Uint64() & m
+		return norm(Val{Lo: 0, Hi: m, Mask: mk, Bits: x & mk}, w), x
+	default:
+		return Top(w), x
+	}
+}
+
+var diffOps = []ir.Op{
+	ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpUDiv, ir.OpURem, ir.OpSDiv,
+	ir.OpSRem, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr,
+	ir.OpAShr, ir.OpEq, ir.OpNe, ir.OpUlt, ir.OpUle, ir.OpSlt, ir.OpSle,
+}
+
+// TestOpsDifferential checks the core soundness property of every
+// transfer function against the concrete VM semantics: if xa ∈ va and
+// xb ∈ vb and the concrete operation succeeds, then the concrete
+// result is a member of the abstract one.
+func TestOpsDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	widths := []uint{8, 16, 32, 64}
+	for iter := 0; iter < 200000; iter++ {
+		w := widths[r.Intn(len(widths))]
+		op := diffOps[r.Intn(len(diffOps))]
+		va, xa := randValWith(r, w)
+		vb, xb := randValWith(r, w)
+		if r.Intn(8) == 0 {
+			vb, xb = ConstV(0, w), 0 // exercise division edges
+		}
+		res := BinV(op, w, va, vb)
+		got, ok := vm.EvalBin(op, ir.Width(w), xa, xb)
+		if !ok {
+			continue // concrete execution fails; any abstraction is fine
+		}
+		if res.IsBottom() {
+			t.Fatalf("%v w%d: a=%v(%d) b=%v(%d): abstract Bottom but concrete %d succeeds",
+				op, w, va, xa, vb, xb, got)
+		}
+		if !res.Contains(got) {
+			t.Fatalf("%v w%d: a=%v(%d) b=%v(%d): concrete %d not in abstract %v",
+				op, w, va, xa, vb, xb, got, res)
+		}
+	}
+}
+
+// TestDomainProps checks the lattice operations' containment
+// obligations on random values.
+func TestDomainProps(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	widths := []uint{1, 8, 16, 32, 64}
+	for iter := 0; iter < 200000; iter++ {
+		w := widths[r.Intn(len(widths))]
+		a, xa := randValWith(r, w)
+		b, xb := randValWith(r, w)
+
+		j := a.Join(b, w)
+		if !j.Contains(xa) || !j.Contains(xb) {
+			t.Fatalf("w%d: join %v ∪ %v = %v loses %d or %d", w, a, b, j, xa, xb)
+		}
+		wi := a.Widen(j, w)
+		if !wi.Contains(xa) || !wi.Contains(xb) {
+			t.Fatalf("w%d: widen(%v, %v) = %v loses %d or %d", w, a, j, wi, xa, xb)
+		}
+		// A member of both operands survives the meet.
+		shared := ConstV(xa, w).Join(b, w)
+		mt := a.Meet(shared, w)
+		if mt.IsBottom() || !mt.Contains(xa) {
+			t.Fatalf("w%d: meet %v ∩ %v = %v loses member %d", w, a, shared, mt, xa)
+		}
+		// Complement.
+		n := notVal(a, w)
+		if !n.Contains(^xa & mask(w)) {
+			t.Fatalf("w%d: not %v = %v loses %d", w, a, n, ^xa&mask(w))
+		}
+	}
+}
+
+// TestTruncSextProps checks width conversions against their concrete
+// counterparts.
+func TestTruncSextProps(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	widths := []uint{8, 16, 32, 64}
+	for iter := 0; iter < 100000; iter++ {
+		w := widths[r.Intn(len(widths))]
+		v, x := randValWith(r, w)
+		w2 := widths[r.Intn(len(widths))]
+		tr := v.TruncTo(w2)
+		if !tr.Contains(x & mask(w2)) {
+			t.Fatalf("trunc w%d->w%d: %v -> %v loses %d", w, w2, v, tr, x&mask(w2))
+		}
+		se := v.SextFrom(w)
+		want := uint64(expr.SignExtendValue(x, w))
+		if !se.Contains(want) {
+			t.Fatalf("sext from w%d: %v -> %v loses %d (from %d)", w, v, se, want, x)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"testing"
 
+	"execrecon/internal/absint"
 	"execrecon/internal/apps"
 	"execrecon/internal/dataflow"
 	"execrecon/internal/minc"
@@ -28,6 +29,15 @@ func TestCorpusLintClean(t *testing.T) {
 		}
 		for _, f := range dataflow.Lint(mod) {
 			t.Errorf("%s: %s", a.Name, f)
+		}
+		// The provable (abstract-interpretation) rules may surface
+		// advisory always-branch notes on guard idioms, but an
+		// error-level proof — oob or overflow on every input — would
+		// mean a shipped app is statically broken.
+		for _, f := range absint.Lint(mod, absint.Config{}) {
+			if dataflow.ErrorLevel(f.Rule) {
+				t.Errorf("%s: %s", a.Name, f)
+			}
 		}
 	}
 }

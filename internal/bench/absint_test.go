@@ -1,0 +1,67 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"execrecon/internal/bench"
+)
+
+// TestAbsintAblation runs the abstract-interpretation ablation on an
+// app subset: verdicts must be identical with the pass off and on,
+// the abstract pass must discharge at least one query or pin at least
+// one bit somewhere, and the renderer must surface the headline line.
+func TestAbsintAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("absint ablation runs full ER pipelines; skipped in -short")
+	}
+	only := []string{"PHP-2012-2386", "SQLite-787fa71", "Nasm-2004-1287"}
+	r, err := bench.RunAbsint(bench.AbsintOptions{Only: only})
+	if err != nil {
+		t.Fatalf("absint: %v", err)
+	}
+	if len(r.Rows) != len(only) {
+		t.Fatalf("rows: %d, want %d", len(r.Rows), len(only))
+	}
+	if !r.AllVerdictsMatch {
+		for _, row := range r.Rows {
+			t.Logf("%s: off=%v/%v on=%v/%v (%s)", row.App,
+				row.OffReproduced, row.OffVerified,
+				row.OnReproduced, row.OnVerified, row.FailReason)
+		}
+		t.Fatal("verdict parity violated with the abstract pass on")
+	}
+	for _, row := range r.Rows {
+		if !row.OnReproduced || !row.OnVerified {
+			t.Errorf("%s: absint run reproduced=%v verified=%v (%s)",
+				row.App, row.OnReproduced, row.OnVerified, row.FailReason)
+		}
+		if row.OffVars == 0 || row.OffClauses == 0 {
+			t.Errorf("%s: baseline recorded no CNF totals (vars=%d clauses=%d)",
+				row.App, row.OffVars, row.OffClauses)
+		}
+	}
+	// Per-app CNF growth is possible (pinned bits steer CDCL to
+	// different models, changing later iterations' query stream), but
+	// the aggregate over this subset must shrink or the pass is not
+	// earning its keep.
+	if r.ClauseReductionPct() <= 0 {
+		t.Errorf("aggregate CNF did not shrink: %d -> %d clauses",
+			r.TotalOffClauses, r.TotalOnClauses)
+	}
+	if r.TotalDischarged == 0 && r.TotalBits == 0 {
+		t.Error("abstract pass neither discharged a query nor pinned a bit on any app")
+	}
+	if r.TotalQueries == 0 {
+		t.Error("no queries recorded in the absint runs")
+	}
+
+	var sb strings.Builder
+	bench.RenderAbsint(&sb, r)
+	out := sb.String()
+	for _, want := range []string{"Application-BugID", "Discharged", "verdicts identical: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

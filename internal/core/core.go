@@ -18,6 +18,7 @@ import (
 	"io"
 	"time"
 
+	"execrecon/internal/invariants"
 	"execrecon/internal/ir"
 	"execrecon/internal/symex"
 	"execrecon/internal/telemetry"
@@ -130,6 +131,18 @@ type Config struct {
 	// verdict). Drivers may attach their own children (ingest,
 	// decode, reoccurrence-wait) via Pipeline.Span.
 	Tracer *telemetry.Tracer
+	// Absint enables the abstract-interpretation layer
+	// (internal/absint) across the loop: every solver query — fresh or
+	// incremental-session — first runs the interval + known-bits
+	// pre-discharge pass, undecided one-shot queries blast with
+	// refined bits pinned, and a verified reproduction additionally
+	// mines static invariant candidates that are confirmed
+	// MIMIC-style against the reproduced input's concrete run before
+	// being reported. Verdict-preserving throughout.
+	Absint bool
+	// AbsintWiden overrides the widening threshold of the mining
+	// analysis (0 = absint default). Only meaningful with Absint.
+	AbsintWiden int
 	// StaticSlice enables the static dataflow analysis
 	// (internal/dataflow) across the loop: shepherded symbolic
 	// execution prunes instructions outside the backward failure slice
@@ -196,7 +209,21 @@ type Report struct {
 	SpecHits     int
 	SpecMisses   int
 	SpecDiscards int
-	FailReason   string
+	// TotalSATVars/TotalSATClauses accumulate the CNF volume blasted
+	// across all solver queries; AbsintDischarged counts queries the
+	// abstract pre-discharge pass decided and AbsintBits the variable
+	// bits it pinned during blasting (Config.Absint only).
+	TotalSATVars     int64
+	TotalSATClauses  int64
+	AbsintDischarged int64
+	AbsintBits       int64
+	// AbsintMined counts static invariant candidates proposed by the
+	// abstract interpreter after a verified reproduction;
+	// AbsintInvariants holds the subset that survived MIMIC-style
+	// verification against the reproduced input's concrete run.
+	AbsintMined      int
+	AbsintInvariants []invariants.StaticCandidate
+	FailReason       string
 }
 
 func (c *Config) logf(format string, args ...interface{}) {

@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"time"
 
+	"execrecon/internal/absint"
 	"execrecon/internal/dataflow"
 	"execrecon/internal/expr"
+	"execrecon/internal/invariants"
 	"execrecon/internal/ir"
 	"execrecon/internal/keyselect"
 	"execrecon/internal/pt"
@@ -121,9 +123,30 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 			Metrics:         cfg.Telemetry,
 			Stop:            p.stop,
 			Portfolio:       cfg.portfolio(),
+			Absint:          cfg.Absint,
 		})
 	}
 	return p, nil
+}
+
+// mineInvariants runs the abstract interpreter over the pristine
+// module and keeps only the candidates the reproduced input's concrete
+// run confirms — MIMIC-style, a static hypothesis must survive dynamic
+// observation before it is reported (or later assumed by a solver).
+func (p *Pipeline) mineInvariants(tc *vm.Workload) {
+	if !p.cfg.Absint || tc == nil {
+		return
+	}
+	mf := absint.AnalyzeModule(p.cfg.Module, p.cfg.Entry, absint.Config{WidenAfter: p.cfg.AbsintWiden})
+	cands := absint.Mine(mf)
+	p.rep.AbsintMined = len(cands)
+	if len(cands) == 0 {
+		return
+	}
+	obs, _ := invariants.CollectEntry(p.cfg.Module, p.cfg.Entry, tc.Clone(), p.seed)
+	p.rep.AbsintInvariants = invariants.VerifyStatic(cands, [][]invariants.Obs{obs})
+	p.cfg.logf("absint: %d static invariant candidates mined, %d verified on the reproduced input",
+		len(cands), len(p.rep.AbsintInvariants))
 }
 
 // portfolio assembles the solver racing options from the config knobs.
@@ -282,6 +305,9 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 	if sxOpts.Metrics == nil {
 		sxOpts.Metrics = p.cfg.Telemetry
 	}
+	if !sxOpts.Absint {
+		sxOpts.Absint = p.cfg.Absint
+	}
 	var src pt.EventSource
 	if occ.Trace != nil {
 		it.TraceEvents = len(occ.Trace.Events)
@@ -310,6 +336,10 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 	it.ConcSteps = sres.Stats.ConcSteps
 	p.rep.TotalSymexTime += sres.Stats.Elapsed
 	p.rep.TotalSolverTime += sres.Stats.SolverTime
+	p.rep.TotalSATVars += sres.Stats.SATVars
+	p.rep.TotalSATClauses += sres.Stats.SATClauses
+	p.rep.AbsintDischarged += sres.Stats.AbsintDischarged
+	p.rep.AbsintBits += sres.Stats.AbsintBits
 	shSpan.SetAttr("status", sres.Status.String())
 	shSpan.SetAttr("trace_events", it.TraceEvents)
 	shSpan.SetAttr("instrs", sres.Stats.Instrs)
@@ -359,6 +389,7 @@ func (p *Pipeline) Feed(occ *Occurrence) (bool, error) {
 		vSpan.End()
 		if p.rep.Verified {
 			p.tel.verified().Inc()
+			p.mineInvariants(sres.TestCase)
 		}
 		p.cfg.logf("iteration %d: reproduced after %d occurrence(s); verified=%v",
 			p.iters+1, p.rep.Occurrences, p.rep.Verified)

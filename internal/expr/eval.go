@@ -29,32 +29,60 @@ func NewAssignment() *Assignment {
 	return &Assignment{Vars: make(map[string]uint64), Arrays: make(map[string]*ArrayValue)}
 }
 
+// evalCtx carries the per-evaluation memo tables. Expression nodes
+// are interned DAGs with heavy sharing (a symbolic store chain's path
+// constraint references the same subterms thousands of times), so
+// un-memoized recursion is exponential; the memo makes one evaluation
+// linear in distinct nodes. Keys are node pointers — valid for the
+// lifetime of one evaluation regardless of which builder interned
+// them.
+type evalCtx struct {
+	asn   *Assignment
+	memo  map[*Expr]uint64
+	amemo map[*Expr]*ArrayValue
+}
+
 // evalArray evaluates an array-sorted expression to a concrete
 // ArrayValue.
-func (asn *Assignment) evalArray(e *Expr) (*ArrayValue, error) {
+func (ctx *evalCtx) evalArray(e *Expr) (*ArrayValue, error) {
+	if av, ok := ctx.amemo[e]; ok {
+		return av, nil
+	}
+	av, err := ctx.evalArrayUncached(e)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.amemo == nil {
+		ctx.amemo = make(map[*Expr]*ArrayValue)
+	}
+	ctx.amemo[e] = av
+	return av, nil
+}
+
+func (ctx *evalCtx) evalArrayUncached(e *Expr) (*ArrayValue, error) {
 	switch e.Kind {
 	case KArrayVar:
-		if av, ok := asn.Arrays[e.Name]; ok {
+		if av, ok := ctx.asn.Arrays[e.Name]; ok {
 			return av, nil
 		}
 		// Unassigned arrays default to all-zero.
 		return &ArrayValue{Elems: map[uint64]uint64{}}, nil
 	case KConstArray:
-		d, err := asn.Eval(e.Args[0])
+		d, err := ctx.eval(e.Args[0])
 		if err != nil {
 			return nil, err
 		}
 		return &ArrayValue{Elems: map[uint64]uint64{}, Default: d}, nil
 	case KStore:
-		base, err := asn.evalArray(e.Args[0])
+		base, err := ctx.evalArray(e.Args[0])
 		if err != nil {
 			return nil, err
 		}
-		idx, err := asn.Eval(e.Args[1])
+		idx, err := ctx.eval(e.Args[1])
 		if err != nil {
 			return nil, err
 		}
-		val, err := asn.Eval(e.Args[2])
+		val, err := ctx.eval(e.Args[2])
 		if err != nil {
 			return nil, err
 		}
@@ -65,14 +93,14 @@ func (asn *Assignment) evalArray(e *Expr) (*ArrayValue, error) {
 		elems[idx] = val
 		return &ArrayValue{Elems: elems, Default: base.Default}, nil
 	case KIte:
-		c, err := asn.Eval(e.Args[0])
+		c, err := ctx.eval(e.Args[0])
 		if err != nil {
 			return nil, err
 		}
 		if c != 0 {
-			return asn.evalArray(e.Args[1])
+			return ctx.evalArray(e.Args[1])
 		}
-		return asn.evalArray(e.Args[2])
+		return ctx.evalArray(e.Args[2])
 	}
 	return nil, fmt.Errorf("expr: evalArray on %s", e.Kind)
 }
@@ -81,17 +109,42 @@ func (asn *Assignment) evalArray(e *Expr) (*ArrayValue, error) {
 // returning the value truncated to the expression's width. Unassigned
 // variables evaluate to zero.
 func (asn *Assignment) Eval(e *Expr) (uint64, error) {
+	// Leaves skip the memo allocation entirely.
 	switch e.Kind {
 	case KConst:
 		return e.Val, nil
 	case KVar:
 		return Truncate(asn.Vars[e.Name], e.Width), nil
-	case KSelect:
-		arr, err := asn.evalArray(e.Args[0])
+	}
+	ctx := &evalCtx{asn: asn, memo: make(map[*Expr]uint64)}
+	return ctx.eval(e)
+}
+
+func (ctx *evalCtx) eval(e *Expr) (uint64, error) {
+	switch e.Kind {
+	case KConst:
+		return e.Val, nil
+	case KVar:
+		return Truncate(ctx.asn.Vars[e.Name], e.Width), nil
+	}
+	if v, ok := ctx.memo[e]; ok {
+		return v, nil
+	}
+	v, err := ctx.evalUncached(e)
+	if err != nil {
+		return 0, err
+	}
+	ctx.memo[e] = v
+	return v, nil
+}
+
+func (ctx *evalCtx) evalUncached(e *Expr) (uint64, error) {
+	if e.Kind == KSelect {
+		arr, err := ctx.evalArray(e.Args[0])
 		if err != nil {
 			return 0, err
 		}
-		idx, err := asn.Eval(e.Args[1])
+		idx, err := ctx.eval(e.Args[1])
 		if err != nil {
 			return 0, err
 		}
@@ -101,17 +154,17 @@ func (asn *Assignment) Eval(e *Expr) (uint64, error) {
 	var a, c, d uint64
 	var err error
 	if len(e.Args) > 0 && !e.Args[0].IsArray() {
-		if a, err = asn.Eval(e.Args[0]); err != nil {
+		if a, err = ctx.eval(e.Args[0]); err != nil {
 			return 0, err
 		}
 	}
 	if len(e.Args) > 1 && !e.Args[1].IsArray() {
-		if c, err = asn.Eval(e.Args[1]); err != nil {
+		if c, err = ctx.eval(e.Args[1]); err != nil {
 			return 0, err
 		}
 	}
 	if len(e.Args) > 2 && !e.Args[2].IsArray() {
-		if d, err = asn.Eval(e.Args[2]); err != nil {
+		if d, err = ctx.eval(e.Args[2]); err != nil {
 			return 0, err
 		}
 	}
@@ -230,9 +283,12 @@ func (asn *Assignment) MustEval(e *Expr) uint64 {
 }
 
 // Satisfies reports whether every constraint in cs evaluates to true.
+// One memo spans the whole set, so shared subterms across constraints
+// are evaluated once.
 func (asn *Assignment) Satisfies(cs []*Expr) (bool, error) {
+	ctx := &evalCtx{asn: asn, memo: make(map[*Expr]uint64)}
 	for _, c := range cs {
-		v, err := asn.Eval(c)
+		v, err := ctx.eval(c)
 		if err != nil {
 			return false, err
 		}

@@ -9,7 +9,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"execrecon/internal/absint"
 	"execrecon/internal/core"
+	"execrecon/internal/dataflow"
 	"execrecon/internal/ir"
 	"execrecon/internal/prod"
 	"execrecon/internal/pt"
@@ -107,6 +109,14 @@ type Options struct {
 	// runs dry, overlapping solver work with the wait for production
 	// to re-hit the failure. Requires SolverSessions.
 	Speculate bool
+	// Absint enables the abstract-interpretation layer in every
+	// bucket pipeline: solver pre-discharge + narrowed blasting, and
+	// verified static invariant mining on reproduction. Registered
+	// apps additionally get an upfront provable-lint pass whose
+	// error-level proof count lands on er_absint_lint_proofs_total.
+	Absint bool
+	// AbsintWiden overrides the widening threshold (0 = default).
+	AbsintWiden int
 	// Store, when set, is the persistent trace archive: triage
 	// appends every ingested reoccurrence to it (delta-compressed
 	// against the bucket's reference trace), occurrences that overflow
@@ -225,6 +235,11 @@ type Fleet struct {
 	start    time.Time
 	resolved atomic.Int64 // completed buckets
 
+	// lintProofs counts error-level provable-lint findings across the
+	// registered app modules (computed once in New when Options.Absint
+	// is set; surfaced as er_absint_lint_proofs_total).
+	lintProofs int64
+
 	// Introspection endpoint (nil unless Options.ListenAddr is set)
 	// and the pre-resolved fleet-owned stage histograms.
 	server     *telemetry.Server
@@ -320,6 +335,17 @@ func New(apps []App, opts Options) (*Fleet, error) {
 			machineID++
 		}
 		f.byName[a.Name] = g
+		if o.Absint {
+			// Upfront provable lint over each registered module: proven
+			// OOB/overflow in deployed code is worth flagging before any
+			// failure ever reoccurs.
+			for _, fd := range absint.Lint(a.Module, absint.Config{WidenAfter: o.AbsintWiden}) {
+				if dataflow.ErrorLevel(fd.Rule) {
+					f.lintProofs++
+					f.logf("fleet: app %q: %s", a.Name, fd)
+				}
+			}
+		}
 	}
 	if o.Telemetry != nil {
 		f.registerMetrics(o.Telemetry)
@@ -484,6 +510,8 @@ func (f *Fleet) runBucket(b *Bucket) {
 		PortfolioWorkers:      f.opts.PortfolioWorkers,
 		PortfolioCubeVars:     f.opts.PortfolioCubeVars,
 		Speculate:             f.opts.Speculate,
+		Absint:                f.opts.Absint,
+		AbsintWiden:           f.opts.AbsintWiden,
 		Telemetry:             f.opts.Telemetry,
 		Tracer:                f.opts.Tracer,
 		Log:                   f.opts.Log,

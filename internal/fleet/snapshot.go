@@ -34,6 +34,14 @@ type Snapshot struct {
 	SolverBlasted   int64
 	SolverFallbacks int64
 	SolverResets    int64
+	// AbsintDischarged/AbsintLemmas/AbsintFacts aggregate the abstract
+	// pre-discharge pass across bucket sessions (zero unless
+	// Options.Absint); LintProofs is the error-level provable-lint
+	// finding count over the registered app modules.
+	AbsintDischarged int64
+	AbsintLemmas     int64
+	AbsintFacts      int64
+	LintProofs       int64
 	// Portfolio aggregates the buckets' solver-racing counters (all
 	// zero unless Options.PortfolioWorkers > 1): races run, wins by
 	// worker kind, and learned-clause exchange traffic.
@@ -90,6 +98,14 @@ type BucketSnapshot struct {
 	SolverBlasted   int64
 	SolverFallbacks int64
 	SolverResets    int64
+	// Absint counters mirror the session's abstract pre-discharge
+	// activity; AbsintMined/AbsintVerified the post-reproduction
+	// static invariant mining (zero unless Options.Absint).
+	AbsintDischarged int64
+	AbsintLemmas     int64
+	AbsintFacts      int64
+	AbsintMined      int
+	AbsintVerified   int
 	// Portfolio carries the session's racing counters; Speculation the
 	// pipeline's pre-solve outcomes. Zero without the matching options.
 	Portfolio   solver.PortfolioStats
@@ -125,6 +141,7 @@ func (f *Fleet) Snapshot() Snapshot {
 		s.StoreEnabled = true
 		s.Store = st.Stats()
 	}
+	s.LintProofs = f.lintProofs
 	for _, b := range f.table.Buckets() {
 		bs := f.snapshotBucket(b)
 		s.Spills += bs.Spills
@@ -134,6 +151,9 @@ func (f *Fleet) Snapshot() Snapshot {
 		s.SolverBlasted += bs.SolverBlasted
 		s.SolverFallbacks += bs.SolverFallbacks
 		s.SolverResets += bs.SolverResets
+		s.AbsintDischarged += bs.AbsintDischarged
+		s.AbsintLemmas += bs.AbsintLemmas
+		s.AbsintFacts += bs.AbsintFacts
 		s.Portfolio.Merge(bs.Portfolio)
 		s.Speculation.Speculations += bs.Speculation.Speculations
 		s.Speculation.Hits += bs.Speculation.Hits
@@ -166,11 +186,16 @@ func (f *Fleet) snapshotBucket(b *Bucket) BucketSnapshot {
 	bs.SolverBlasted = st.ConstraintsBlasted
 	bs.SolverFallbacks = st.FreshFallbacks
 	bs.SolverResets = st.Resets
+	bs.AbsintDischarged = st.AbsintDischarged
+	bs.AbsintLemmas = st.AbsintLemmas
+	bs.AbsintFacts = st.AbsintFacts
 	bs.Portfolio = st.Portfolio
 	bs.Speculation = b.loadSpecStats()
 	if rep := b.report.Load(); rep != nil {
 		bs.Reproduced = rep.Reproduced
 		bs.Verified = rep.Verified
+		bs.AbsintMined = rep.AbsintMined
+		bs.AbsintVerified = len(rep.AbsintInvariants)
 	}
 	if done := b.doneAt.Load(); done != 0 {
 		bs.Elapsed = time.Unix(0, done).Sub(b.firstSeen)

@@ -3,6 +3,7 @@ package minc
 import (
 	"fmt"
 
+	"execrecon/internal/absint"
 	"execrecon/internal/dataflow"
 	"execrecon/internal/ir"
 )
@@ -18,12 +19,19 @@ func Compile(name, src string) (*ir.Module, error) {
 	return mod, err
 }
 
-// CompileWithLint is Compile plus the advisory lint rules: dead stores
-// and cross-block width inconsistencies are reported as findings
-// rather than errors, since both describe suspicious but executable
-// programs.
+// CompileWithLint is Compile plus the full lint suite: the advisory
+// dataflow rules (dead stores, cross-block width inconsistencies —
+// suspicious but executable) followed by the abstract-interpretation
+// rules, which include the error-level provable findings
+// (provable-oob, provable-overflow: the fault fires on every
+// execution reaching the site). Callers gate severity with
+// dataflow.ErrorLevel.
 func CompileWithLint(name, src string) (*ir.Module, []dataflow.Finding, error) {
-	return compile(name, src)
+	mod, findings, err := compile(name, src)
+	if err != nil {
+		return mod, findings, err
+	}
+	return mod, append(findings, absint.Lint(mod, absint.Config{})...), nil
 }
 
 func compile(name, src string) (*ir.Module, []dataflow.Finding, error) {

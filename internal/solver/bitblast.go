@@ -3,6 +3,7 @@ package solver
 import (
 	"fmt"
 
+	"execrecon/internal/absint"
 	"execrecon/internal/expr"
 )
 
@@ -17,6 +18,13 @@ type blaster struct {
 
 	bits map[*expr.Expr][]lit
 	vars map[string][]lit // expr var name -> bit literals
+
+	// narrow, when set, pins variable bits the abstract interpreter
+	// proved constant for every model of the current query. Must stay
+	// nil for incremental sessions, whose cached var literals outlive
+	// any one query's refinement.
+	narrow       map[string]absint.Val
+	bitsNarrowed int
 
 	err error
 }
@@ -241,8 +249,14 @@ func (b *blaster) blast(e *expr.Expr) []lit {
 		}
 	case expr.KVar:
 		out = make([]lit, w)
+		nv, pin := b.narrow[e.Name]
 		for i := 0; i < w; i++ {
-			out[i] = b.freshLit()
+			if pin && nv.Mask>>uint(i)&1 == 1 {
+				out[i] = b.constLit(nv.Bits>>uint(i)&1 == 1)
+				b.bitsNarrowed++
+			} else {
+				out[i] = b.freshLit()
+			}
 		}
 		b.vars[e.Name] = out
 	case expr.KAdd:
@@ -541,14 +555,15 @@ func (b *blaster) modelVarFrom(core *sat, name string) (uint64, bool) {
 	}
 	var v uint64
 	for i, l := range bs {
-		var bit bool
-		if cv, isC := b.isConstLit(l); isC {
-			bit = cv
-		} else {
+		// isConstLit compares against the signed litTrue/litFalse
+		// literals, so its answer already folds in l's sign — only
+		// model-read bits still need the flip.
+		bit, isC := b.isConstLit(l)
+		if !isC {
 			bit = core.modelValue(l.vindex())
-		}
-		if l.sign() {
-			bit = !bit
+			if l.sign() {
+				bit = !bit
+			}
 		}
 		if bit {
 			v |= 1 << uint(i)

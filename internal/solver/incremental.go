@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"execrecon/internal/absint"
 	"execrecon/internal/expr"
 	"execrecon/internal/telemetry"
 )
@@ -73,6 +74,13 @@ type Incremental struct {
 	// mid-flush); they are retried under the next query's budget.
 	pending []*expr.Expr
 
+	// absLemmas queues universal facts from the abstract pre-discharge
+	// pass (internal/absint) awaiting permanent assertion; absSeen
+	// dedups them by stable ID so a recurring subterm's bounds are
+	// asserted once per session.
+	absLemmas []*expr.Expr
+	absSeen   map[uint64]bool
+
 	poisoned bool
 
 	// stop is the per-call cancellation flag installed by SolveStop
@@ -103,6 +111,9 @@ type incMetrics struct {
 	baseWins, seedWins, cubeWins *telemetry.Counter
 	raceUnknowns                 *telemetry.Counter
 	shared, importedCl           *telemetry.Counter
+
+	// Abstract pre-discharge (er_absint_*).
+	absDischarged, absLemmas, absFacts *telemetry.Counter
 }
 
 func newIncMetrics(reg *telemetry.Registry) *incMetrics {
@@ -130,6 +141,10 @@ func newIncMetrics(reg *telemetry.Registry) *incMetrics {
 		raceUnknowns: reg.Counter("er_portfolio_unknowns_total", "portfolio races where no worker finished"),
 		shared:       reg.Counter("er_portfolio_clauses_shared_total", "learnt clauses published to the race exchange"),
 		importedCl:   reg.Counter("er_portfolio_clauses_imported_total", "learnt clauses imported from other workers"),
+
+		absDischarged: reg.Counter("er_absint_discharged_total", "queries decided by the abstract pre-discharge pass"),
+		absLemmas:     reg.Counter("er_absint_lemmas_total", "universal absint lemmas asserted permanently"),
+		absFacts:      reg.Counter("er_absint_facts_total", "query-refined absint facts passed as assumptions"),
 	}
 }
 
@@ -164,6 +179,9 @@ func (inc *Incremental) report(before IncStats, res Result, err error, elapsed t
 	m.raceUnknowns.Add(st.Portfolio.Unknowns - before.Portfolio.Unknowns)
 	m.shared.Add(st.Portfolio.ClausesShared - before.Portfolio.ClausesShared)
 	m.importedCl.Add(st.Portfolio.ClausesImported - before.Portfolio.ClausesImported)
+	m.absDischarged.Add(st.AbsintDischarged - before.AbsintDischarged)
+	m.absLemmas.Add(st.AbsintLemmas - before.AbsintLemmas)
+	m.absFacts.Add(st.AbsintFacts - before.AbsintFacts)
 }
 
 // IncStats aggregates an Incremental session's lifetime counters —
@@ -195,6 +213,13 @@ type IncStats struct {
 	// rebuilds (poisoning or MaxSessionNodes).
 	FreshFallbacks int64
 	Resets         int64
+	// AbsintDischarged counts queries the abstract pre-discharge pass
+	// decided without touching the CDCL core; AbsintLemmas universal
+	// absint facts asserted permanently; AbsintFacts query-refined
+	// facts passed as extra assumptions.
+	AbsintDischarged int64
+	AbsintLemmas     int64
+	AbsintFacts      int64
 	// FastSats counts queries answered by extending the previous
 	// query's satisfying trail without search (the model-extension fast
 	// path); TrailShrinks counts the subset of those that first had to
@@ -243,6 +268,11 @@ func (inc *Incremental) reset() {
 	inc.bl = newBlaster(inc.core, nil)
 	inc.pool = nil
 	inc.pending = nil
+	// Queued and already-asserted absint lemmas die with the old
+	// builder and core; the seen-set must go too, or the rebuilt core
+	// would never regain them.
+	inc.absLemmas = nil
+	inc.absSeen = nil
 	inc.poisoned = false
 	inc.stats.Resets++
 }
@@ -369,6 +399,41 @@ func (inc *Incremental) solveQuery(cs []*expr.Expr) (Result, *expr.Assignment, e
 		return ResultSat, expr.NewAssignment(), nil
 	}
 
+	// Stage 0: abstract pre-discharge (interval + known-bits domains
+	// over the imported constraints). Unsat is proven by
+	// over-approximation, Sat is concretely validated inside
+	// AnalyzeQuery. Undecided queries contribute universal lemmas
+	// (asserted permanently below — they hold for every assignment)
+	// and query-refined facts (assumed only for this query: the
+	// session's cached variable literals must stay free, so bits are
+	// never pinned here, unlike the one-shot blaster).
+	var absFacts []*expr.Expr
+	if inc.opts.Absint {
+		aq := absint.AnalyzeQuery(inc.b, imported, absint.QueryOptions{WantModel: true, WantLemmas: true})
+		switch aq.Verdict {
+		case absint.VerdictUnsat:
+			inc.stats.AbsintDischarged++
+			inc.last.AbsintDischarged = true
+			return ResultUnsat, nil, nil
+		case absint.VerdictSat:
+			inc.stats.AbsintDischarged++
+			inc.last.AbsintDischarged = true
+			return ResultSat, aq.Model, nil
+		}
+		if inc.absSeen == nil {
+			inc.absSeen = make(map[uint64]bool)
+		}
+		for _, l := range aq.Lemmas {
+			if inc.absSeen[l.StableID()] {
+				continue
+			}
+			inc.absSeen[l.StableID()] = true
+			inc.absLemmas = append(inc.absLemmas, l)
+		}
+		absFacts = varFactExprs(inc.b, imported, aq.Vars, maxAssumedFacts)
+		inc.stats.AbsintFacts += int64(len(absFacts))
+	}
+
 	// Stage 1: array elimination, cached across queries.
 	pure := make([]*expr.Expr, 0, len(imported))
 	for _, ic := range imported {
@@ -388,6 +453,26 @@ func (inc *Incremental) solveQuery(cs []*expr.Expr) (Result, *expr.Assignment, e
 	inc.pending = append(inc.pending, lemmas...)
 	if lemErr == errBudget {
 		return ResultUnknown, nil, nil
+	}
+
+	// Absint universal lemmas join the permanent queue through the
+	// same array-elimination rewrite as everything else. Their select
+	// subterms are shared with the constraints, so no new read terms
+	// (hence no missed consistency axioms) can appear here.
+	for len(inc.absLemmas) > 0 {
+		p := inc.elim.rewrite(inc.absLemmas[0])
+		if inc.elim.err == errBudget {
+			return ResultUnknown, nil, nil
+		}
+		if inc.elim.err != nil {
+			return inc.freshFallback(imported, inc.elim.err)
+		}
+		inc.absLemmas = inc.absLemmas[1:]
+		if p.IsTrue() {
+			continue
+		}
+		inc.pending = append(inc.pending, p)
+		inc.stats.AbsintLemmas++
 	}
 
 	// Stage 2a: assert pending lemmas permanently (they are valid
@@ -426,6 +511,19 @@ func (inc *Incremental) solveQuery(cs []*expr.Expr) (Result, *expr.Assignment, e
 			inc.stats.ConstraintsBlasted++
 		}
 		l, ok := inc.bl.boolLit(p)
+		if !ok {
+			if inc.bl.err == errBudget {
+				return ResultUnknown, nil, nil
+			}
+			return inc.freshFallback(imported, inc.bl.err)
+		}
+		assumps = append(assumps, l)
+	}
+	// Query-refined absint facts ride along as extra assumptions:
+	// implied by the constraint set, so verdict-preserving, but they
+	// hand the CDCL core unit-propagatable bounds up front.
+	for _, fe := range absFacts {
+		l, ok := inc.bl.boolLit(fe)
 		if !ok {
 			if inc.bl.err == errBudget {
 				return ResultUnknown, nil, nil
@@ -485,6 +583,52 @@ func (inc *Incremental) solveQuery(cs []*expr.Expr) (Result, *expr.Assignment, e
 		}
 	}
 	return ResultSat, asn, nil
+}
+
+// maxAssumedFacts caps query-refined absint facts passed as extra
+// assumptions: beyond this the assumption-literal overhead outweighs
+// the propagation head start.
+const maxAssumedFacts = 16
+
+// varFactExprs renders the query-refined per-variable facts as boolean
+// expressions over b: upper/lower interval bounds and known-bit
+// patterns for each variable of cs, capped at maxN.
+func varFactExprs(b *expr.Builder, cs []*expr.Expr, facts map[string]absint.Val, maxN int) []*expr.Expr {
+	if len(facts) == 0 {
+		return nil
+	}
+	var out []*expr.Expr
+	seen := make(map[string]bool)
+	for _, c := range cs {
+		for _, v := range expr.VarsOf(c) {
+			if v.Kind != expr.KVar || seen[v.Name] {
+				continue
+			}
+			seen[v.Name] = true
+			f, ok := facts[v.Name]
+			if !ok || f.IsBottom() {
+				continue
+			}
+			w := v.Width
+			m := ^uint64(0)
+			if w < 64 {
+				m = 1<<w - 1
+			}
+			if f.Hi < m && len(out) < maxN {
+				out = append(out, b.Ule(v, b.Const(f.Hi, w)))
+			}
+			if f.Lo > 0 && len(out) < maxN {
+				out = append(out, b.Ule(b.Const(f.Lo, w), v))
+			}
+			if km := f.Mask & m; km != 0 && len(out) < maxN {
+				out = append(out, b.Eq(b.And(v, b.Const(km, w)), b.Const(f.Bits&m, w)))
+			}
+			if len(out) >= maxN {
+				return out
+			}
+		}
+	}
+	return out
 }
 
 // freshFallback answers the query with a from-scratch Solver over the

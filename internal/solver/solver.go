@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"execrecon/internal/absint"
 	"execrecon/internal/expr"
 	"execrecon/internal/telemetry"
 )
@@ -64,6 +65,13 @@ type Options struct {
 	// clause exchange; the first definitive verdict wins and cancels
 	// the rest. Verdict-preserving: only latency changes.
 	Portfolio PortfolioOptions
+	// Absint enables the abstract-interpretation pre-discharge pass:
+	// before blasting, the query is evaluated in the interval +
+	// known-bits domain (internal/absint). Decided queries skip CDCL
+	// entirely (Sat only with a concretely validated model);
+	// undecided ones blast with refined variable bits pinned to
+	// constants, shrinking the CNF. Verdict-preserving.
+	Absint bool
 }
 
 // Backend is the query interface shared by the one-shot Solver and
@@ -95,6 +103,12 @@ type Stats struct {
 	Conflicts    int64
 	Decisions    int64
 	Elapsed      time.Duration
+	// AbsintDischarged reports that the abstract pre-discharge pass
+	// decided the query without bit blasting.
+	AbsintDischarged bool
+	// AbsintBits counts variable bits pinned to constants during
+	// blasting from abstract known-bits facts.
+	AbsintBits int
 }
 
 // Solver decides conjunctions of bitvector/array constraints built
@@ -160,6 +174,23 @@ func (s *Solver) Solve(cs []*expr.Expr) (Result, *expr.Assignment, error) {
 		return ResultSat, expr.NewAssignment(), nil
 	}
 
+	// Stage 0: abstract pre-discharge. Unsat is proven by
+	// over-approximation; Sat verdicts carry a model AnalyzeQuery has
+	// already validated concretely against the constraints.
+	var narrow map[string]absint.Val
+	if s.opts.Absint {
+		aq := absint.AnalyzeQuery(s.b, remaining, absint.QueryOptions{WantModel: true})
+		switch aq.Verdict {
+		case absint.VerdictUnsat:
+			s.last.AbsintDischarged = true
+			return ResultUnsat, nil, nil
+		case absint.VerdictSat:
+			s.last.AbsintDischarged = true
+			return ResultSat, aq.Model, nil
+		}
+		narrow = aq.Vars
+	}
+
 	// Stage 1: array elimination.
 	elim := newArrayElim(s.b, budget)
 	pure, err := elim.run(remaining)
@@ -170,9 +201,10 @@ func (s *Solver) Solve(cs []*expr.Expr) (Result, *expr.Assignment, error) {
 		return ResultUnknown, nil, err
 	}
 
-	// Stage 2: bit blasting.
+	// Stage 2: bit blasting, with query-refined variable bits pinned.
 	core = newSAT(budget)
 	bl := newBlaster(core, budget)
+	bl.narrow = narrow
 	unsatEarly := false
 	for _, c := range pure {
 		if c.IsTrue() {
@@ -187,6 +219,7 @@ func (s *Solver) Solve(cs []*expr.Expr) (Result, *expr.Assignment, error) {
 			break
 		}
 	}
+	s.last.AbsintBits = bl.bitsNarrowed
 	if bl.err == errBudget {
 		return ResultUnknown, nil, nil
 	}
