@@ -12,6 +12,10 @@
 //	                                                      erd coordinator
 //	er -coordinator URL verdicts                          list every cluster bucket's
 //	                                                      triage outcome
+//	er -coordinator URL timeline                          render every bucket's stitched
+//	                                                      cross-process reconstruction
+//	                                                      timeline (ingest → lease →
+//	                                                      remote replay → resolve)
 //
 // Input streams are given as tag=v1,v2,... arguments.
 //
@@ -39,8 +43,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -52,6 +58,7 @@ import (
 	"execrecon/internal/expr"
 	"execrecon/internal/pt"
 	"execrecon/internal/symex"
+	"execrecon/internal/telemetry"
 	"execrecon/internal/tracestore"
 	"execrecon/internal/vm"
 )
@@ -60,6 +67,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: er [-store dir] [-replay-store] [-lint] [-v] run|reproduce|constraints <prog.minc> [tag=v1,v2,...]...")
 	fmt.Fprintln(os.Stderr, "       er -coordinator URL submit <prog.minc> [tag=v1,v2,...]...")
 	fmt.Fprintln(os.Stderr, "       er -coordinator URL verdicts")
+	fmt.Fprintln(os.Stderr, "       er -coordinator URL timeline")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -83,6 +91,17 @@ func main() {
 			usage()
 		}
 		reportVerdicts(*coordinator)
+		return
+	}
+	// `timeline` likewise queries the coordinator directly.
+	if flag.Arg(0) == "timeline" {
+		if *coordinator == "" {
+			fatal(fmt.Errorf("timeline requires -coordinator"))
+		}
+		if flag.NArg() > 1 {
+			usage()
+		}
+		reportTimelines(*coordinator)
 		return
 	}
 	if flag.NArg() < 2 {
@@ -303,6 +322,37 @@ func reportVerdicts(base string) {
 		}
 		fmt.Printf("%-24s key=%#x %-22s node=%-12s term=%d iters=%d redispatches=%d\n",
 			b.App, b.Key, status, b.Node, b.Term, b.Iterations, b.Redispatches)
+	}
+}
+
+// reportTimelines fetches /debug/er/timeline and renders each
+// bucket's stitched cross-process span tree as an indented outline.
+func reportTimelines(base string) {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/debug/er/timeline")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("coordinator: /debug/er/timeline: HTTP %d", resp.StatusCode))
+	}
+	var timelines []cluster.BucketTimeline
+	if err := json.NewDecoder(resp.Body).Decode(&timelines); err != nil {
+		fatal(fmt.Errorf("decode timelines: %w", err))
+	}
+	if len(timelines) == 0 {
+		fmt.Println("no buckets yet")
+		return
+	}
+	for i, tl := range timelines {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("%s key=%#x trace=%s state=%s redispatches=%d\n",
+			tl.App, tl.Key, tl.TraceID, tl.State, tl.Redispatches)
+		if err := telemetry.WriteTree(os.Stdout, tl.Root); err != nil {
+			fatal(err)
+		}
 	}
 }
 

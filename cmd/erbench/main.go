@@ -47,6 +47,14 @@
 //	          clock), asserting verdict parity and < 5% overhead, plus
 //	          per-stage latency summaries (p50/p90/p99) read back from
 //	          er_core_stage_seconds
+//	obs       cluster-wide observability gates: the corpus triaged
+//	          with the full layer (registry + tracer + journal +
+//	          overhead accountant) off vs on under a verdict-parity
+//	          and < -max-overhead wall-clock gate; a deterministic
+//	          recording-overhead budget-gate smoke; and a multi-node
+//	          run (-nodes, default 2) whose every resolved bucket must
+//	          stitch into one ingest-through-resolve timeline that
+//	          also survives a coordinator WAL restart
 //	corpus    population-scale reproduction: generate -corpus-n
 //	          self-verified scenarios from -seed (seven injected bug
 //	          patterns, two of them concurrency) and reproduce the
@@ -79,7 +87,7 @@ var experiments = []string{
 	"fig1", "table1", "offline", "fig5", "fig6", "random",
 	"accuracy", "rept", "mimic", "ablation", "mt", "fleet",
 	"solvecache", "tracestore", "absint", "slice", "telemetry",
-	"corpus",
+	"obs", "corpus",
 }
 
 func validExp(name string) bool {
@@ -103,7 +111,7 @@ func main() {
 	nodes := flag.Int("nodes", 0, "run the fleet experiment through an in-process multi-node cluster (coordinator + N triage nodes over loopback HTTP); scaling is measured at every count in {1,2,4} <= N")
 	killAfter := flag.Duration("kill-after", 0, "with -nodes >= 2, kill -9 one triage node this long into an extra chaos run (all buckets must still resolve via lease re-dispatch)")
 	pace := flag.Duration("pace", 0, "production-run spacing per fleet machine (0 = default 100ms); also the solvecache portfolio mode's simulated reoccurrence interval (0 = default 1s)")
-	trials := flag.Int("trials", 0, "timed repetitions per mode for the telemetry experiment (0 = default 3)")
+	trials := flag.Int("trials", 0, "timed repetitions per mode for the telemetry and obs experiments (0 = default 3)")
 	portfolio := flag.Int("portfolio", 0, "racing CDCL workers per query for the solvecache experiment's third mode (<=1 = off)")
 	cubeVars := flag.Int("cube-vars", 0, "cube-and-conquer split variables for the solvecache portfolio mode (0 = no cubes)")
 	speculate := flag.Bool("speculate", false, "speculatively pre-solve stall constraints during waits in the solvecache portfolio mode")
@@ -518,6 +526,55 @@ func main() {
 				path, err := bench.WriteJSONArtifact(*jsonDir, "telemetry", r)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "telemetry: write json:", err)
+					ok = false
+				} else {
+					fmt.Fprintf(out, "wrote %s\n", path)
+				}
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	if run("obs") {
+		fmt.Fprintln(out, "== observability: journal + accountant parity, timeline stitching ==")
+		opts := bench.ObsOptions{
+			Nodes:          *nodes,
+			MachinesPerApp: *machines,
+			Pace:           *pace,
+			Trials:         *trials,
+		}
+		if *app != "" {
+			opts.Only = []string{*app}
+		}
+		if log != nil {
+			opts.Log = log
+		}
+		r, err := bench.RunObs(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obs:", err)
+			ok = false
+		} else {
+			bench.RenderObs(out, r)
+			if !r.AllVerdictsMatch {
+				fmt.Fprintln(os.Stderr, "obs: verdict parity violated (see table)")
+				ok = false
+			}
+			if over := r.OverheadPct(); over > *maxOverhead {
+				fmt.Fprintf(os.Stderr, "obs: overhead %.2f%% exceeds the %.1f%% budget\n",
+					over, *maxOverhead)
+				ok = false
+			}
+			if r.GateBreaches != 1 || !r.GateAlerted {
+				fmt.Fprintln(os.Stderr, "obs: recording-overhead budget gate smoke failed")
+				ok = false
+			}
+			if !r.TimelinesComplete || !r.RestartComplete {
+				fmt.Fprintln(os.Stderr, "obs: timeline completeness violated (see tables)")
+				ok = false
+			}
+			if *jsonDir != "" {
+				path, err := bench.WriteJSONArtifact(*jsonDir, "obs", r)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "obs: write json:", err)
 					ok = false
 				} else {
 					fmt.Fprintf(out, "wrote %s\n", path)

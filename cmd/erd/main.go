@@ -2,7 +2,8 @@
 // serves one of two roles:
 //
 //	erd -role coordinator -store dir -wal file [-listen addr] [-apps a,b] \
-//	    [-machines N] [-pace D] [-ttl D] [-timeout D] [-pprof] [-v]
+//	    [-machines N] [-pace D] [-ttl D] [-timeout D] [-pprof] \
+//	    [-log-level L] [-log-json] [-overhead-budget PCT] [-v]
 //
 // runs the production half: the producer machines for the selected
 // corpus apps, the ingest/dedup path, the durable trace archive, the
@@ -11,12 +12,20 @@
 // SIGINT/SIGTERM exit immediately, and a restart over the same -store
 // and -wal recovers the lease table and every committed verdict.
 //
-//	erd -role node -coordinator URL [-name id] [-apps a,b] [-workers N] [-v]
+//	erd -role node -coordinator URL [-name id] [-apps a,b] [-workers N] \
+//	    [-log-level L] [-log-json] [-v]
 //
 // runs a triage node: it leases buckets from the coordinator, replays
 // their banked reoccurrences from the archive through a local ER
 // pipeline, ships rollout chains back, and commits verdicts. Nodes
 // are stateless — kill one and its leases expire and re-dispatch.
+//
+// Observability: the coordinator journals structured events
+// (drainable at /debug/er/events, teed to stderr as JSON lines with
+// -log-json, filtered by -log-level), stitches per-bucket
+// cross-process timelines (/debug/er/timeline, `er timeline`), and
+// accounts recording overhead per instrumentation version
+// (er_overhead_* on /metrics; -overhead-budget arms the SLO gate).
 //
 // All flag validation errors exit 2, matching erbench.
 package main
@@ -35,6 +44,7 @@ import (
 	"execrecon/internal/cluster"
 	"execrecon/internal/fleet"
 	"execrecon/internal/symex"
+	"execrecon/internal/telemetry"
 	"execrecon/internal/tracestore"
 )
 
@@ -52,6 +62,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "stop after this long even if buckets are unresolved (0 = run until every expected failure resolves)")
 	workers := flag.Int("workers", 2, "concurrent leases per node")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof on the coordinator endpoint")
+	logLevel := flag.String("log-level", "info", "journal level: debug, info, warn, or error")
+	logJSON := flag.Bool("log-json", false, "tee journal events to stderr as JSON lines")
+	overheadBudget := flag.Float64("overhead-budget", 0, "recording-overhead SLO in percent over the version-0 baseline (coordinator; 0 = accounting without a gate)")
 	verbose := flag.Bool("v", false, "log cluster progress to stderr")
 	flag.Parse()
 
@@ -94,6 +107,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "erd: -workers must be > 0 (got %d)\n", *workers)
 		os.Exit(2)
 	}
+	minLevel, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "erd: -log-level: %v\n", err)
+		os.Exit(2)
+	}
+	if *overheadBudget < 0 {
+		fmt.Fprintf(os.Stderr, "erd: -overhead-budget must be >= 0 (got %v)\n", *overheadBudget)
+		os.Exit(2)
+	}
 
 	fapps, err := corpusApps(*appsFlag)
 	if err != nil {
@@ -104,6 +126,11 @@ func main() {
 	if *verbose {
 		log = os.Stderr
 	}
+	jopts := telemetry.JournalOptions{Min: minLevel}
+	if *logJSON {
+		jopts.Tee = os.Stderr
+	}
+	journal := telemetry.NewJournal(jopts)
 
 	switch *role {
 	case "coordinator":
@@ -115,7 +142,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "erd: coordinator role requires -wal")
 			os.Exit(2)
 		}
-		runCoordinator(fapps, *storeDir, *walPath, *listen, *machines, *pace, *ttl, *timeout, *pprof, log)
+		runCoordinator(fapps, *storeDir, *walPath, *listen, *machines, *pace, *ttl, *timeout, *pprof, journal, *overheadBudget, log)
 	case "node":
 		if *coordinator == "" {
 			fmt.Fprintln(os.Stderr, "erd: node role requires -coordinator")
@@ -129,7 +156,7 @@ func main() {
 			}
 			nodeName = fmt.Sprintf("%s-%d", host, os.Getpid())
 		}
-		runNode(fapps, nodeName, *coordinator, *workers, log)
+		runNode(fapps, nodeName, *coordinator, *workers, journal, log)
 	}
 }
 
@@ -185,15 +212,26 @@ func contains(names []string, n string) bool {
 	return false
 }
 
-func runCoordinator(fapps []fleet.App, storeDir, walPath, listen string, machines int, pace, ttl, timeout time.Duration, pprof bool, log *os.File) {
+func runCoordinator(fapps []fleet.App, storeDir, walPath, listen string, machines int, pace, ttl, timeout time.Duration, pprof bool, journal *telemetry.Journal, overheadBudget float64, log *os.File) {
 	store, err := tracestore.Open(storeDir, tracestore.Options{})
 	if err != nil {
 		fatal(fmt.Errorf("open trace store: %w", err))
 	}
 	defer store.Close()
+	reg := telemetry.New()
+	journal.RegisterMetrics(reg)
+	overhead := telemetry.NewOverhead(telemetry.OverheadOptions{
+		BudgetPct: overheadBudget,
+		Journal:   journal,
+		Registry:  reg,
+	})
 	fo := fleet.Options{
 		MachinesPerApp: machines,
 		Pace:           pace,
+		Telemetry:      reg,
+		Tracer:         telemetry.NewTracer(0),
+		Journal:        journal,
+		Overhead:       overhead,
 		Log:            log,
 	}
 	if timeout > 0 {
@@ -202,13 +240,15 @@ func runCoordinator(fapps []fleet.App, storeDir, walPath, listen string, machine
 		fo.Timeout = -1 // a daemon runs until its buckets resolve
 	}
 	coord, err := cluster.NewCoordinator(fapps, cluster.CoordinatorOptions{
-		Fleet:   fo,
-		Store:   store,
-		WALPath: walPath,
-		TTL:     ttl,
-		Listen:  listen,
-		Pprof:   pprof,
-		Log:     log,
+		Fleet:    fo,
+		Store:    store,
+		WALPath:  walPath,
+		TTL:      ttl,
+		Listen:   listen,
+		Pprof:    pprof,
+		Journal:  journal,
+		Overhead: overhead,
+		Log:      log,
 	})
 	if err != nil {
 		fatal(err)
@@ -250,14 +290,17 @@ func runCoordinator(fapps []fleet.App, storeDir, walPath, listen string, machine
 	os.Exit(code)
 }
 
-func runNode(fapps []fleet.App, name, coordinator string, workers int, log *os.File) {
+func runNode(fapps []fleet.App, name, coordinator string, workers int, journal *telemetry.Journal, log *os.File) {
 	node, err := cluster.NewNode(cluster.NodeOptions{
 		Name:        name,
 		Coordinator: coordinator,
 		Apps:        fapps,
 		Workers:     workers,
+		Tracer:      telemetry.NewTracer(0),
 		Log:         log,
 	})
+	journal.Log(telemetry.LevelInfo, "erd", "node starting",
+		telemetry.A("name", name), telemetry.A("coordinator", coordinator))
 	if err != nil {
 		fatal(err)
 	}

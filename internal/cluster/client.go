@@ -66,14 +66,13 @@ func (cl *Client) Lease(wait time.Duration) (*LeaseResponse, error) {
 	return &resp, nil
 }
 
-// Renew heartbeats a held lease.
-func (cl *Client) Renew(app string, key, term uint64, iterations int) (*RenewResponse, error) {
+// Renew heartbeats a held lease; the request may piggyback the
+// node's latest replay span snapshot and runtime vitals.
+func (cl *Client) Renew(req *RenewRequest) (*RenewResponse, error) {
+	req.V = ProtocolVersion
+	req.Node = cl.node
 	var resp RenewResponse
-	err := cl.post(PathRenew, &RenewRequest{
-		V: ProtocolVersion, Node: cl.node, App: app, Key: key,
-		Term: term, Iterations: iterations,
-	}, &resp)
-	if err != nil {
+	if err := cl.post(PathRenew, req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -397,7 +397,7 @@ func TestClusterCoordinatorRestart(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	node1.Kill()
-	coord1.crash()
+	coord1.Crash()
 	node1.Close()
 	snap1 := coord1.Snapshot()
 	pre := countResolved(snap1)
@@ -627,7 +627,7 @@ func TestClusterProtocolVersionMismatch(t *testing.T) {
 	if err := coord.Start(); err != nil {
 		t.Fatalf("Start: %v", err)
 	}
-	defer coord.crash()
+	defer coord.Crash()
 
 	body, _ := json.Marshal(&LeaseRequest{V: ProtocolVersion + 1, Node: "stale"})
 	resp, err := http.Post(coord.URL()+PathLease, "application/json", bytes.NewReader(body))

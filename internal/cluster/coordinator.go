@@ -45,6 +45,15 @@ type CoordinatorOptions struct {
 	CheckpointBytes int64
 	// Pprof mounts net/http/pprof on the endpoint.
 	Pprof bool
+	// Journal receives the coordinator's structured events (lease
+	// lifecycle, sweeper/WAL errors that were previously silent) and
+	// backs the endpoint's /debug/er/events drain. Nil disables.
+	Journal *telemetry.Journal
+	// Overhead is the recording-overhead accountant: rollouts
+	// attribute their recording-set cost to it, and the endpoint
+	// embeds its ledger (with budget-breach flags) in /debug/er. Nil
+	// disables.
+	Overhead *telemetry.Overhead
 	// Log receives progress lines.
 	Log io.Writer
 }
@@ -94,11 +103,26 @@ type bucketCtl struct {
 	// notify is closed (and replaced) every time an occurrence is
 	// banked under this bucket — the long-poll wakeup for Fetch.
 	notify chan struct{}
+
+	// Timeline state (timeline.go): the bucket's distributed trace
+	// identity, lifecycle timestamps, bounded point events and lease
+	// windows, and the per-term remote replay snapshots nodes ship
+	// back on renew/resolve.
+	trace      telemetry.SpanContext
+	firstSeen  time.Time
+	resolvedAt time.Time
+	events     []tlEvent
+	evDropped  int
+	archived   bool // first archive event recorded
+	leaseLog   []leaseWindow
+	remote     map[uint64]telemetry.SpanSnapshot
 }
 
-// nodeSeen tracks a triage node's liveness.
+// nodeSeen tracks a triage node's liveness and the vitals it
+// piggybacks on heartbeats.
 type nodeSeen struct {
-	last time.Time
+	last   time.Time
+	health NodeHealth
 }
 
 // Coordinator owns the production half of a distributed fleet: the
@@ -115,12 +139,19 @@ type Coordinator struct {
 	base   map[string]baseApp
 	ttl    time.Duration
 	server *telemetry.Server
+	reg    *telemetry.Registry
+
+	journal  *telemetry.Journal
+	overhead *telemetry.Overhead
 
 	mu        sync.Mutex
 	ctls      map[bucketAddr]*bucketCtl
 	queue     []*bucketCtl
 	nodes     map[string]*nodeSeen
 	recovered int
+	// nodeGauges tracks which node names already have er_node_*
+	// series registered (registration is dynamic, per first contact).
+	nodeGauges map[string]bool
 
 	// dispatch wakes lease long-pollers when the queue grows.
 	dispatch chan struct{}
@@ -165,15 +196,18 @@ func NewCoordinator(apps []fleet.App, opts CoordinatorOptions) (*Coordinator, er
 		return nil, err
 	}
 	c := &Coordinator{
-		opts:     opts,
-		store:    opts.Store,
-		wal:      wal,
-		base:     make(map[string]baseApp, len(apps)),
-		ttl:      opts.TTL,
-		ctls:     make(map[bucketAddr]*bucketCtl),
-		nodes:    make(map[string]*nodeSeen),
-		dispatch: make(chan struct{}, 1),
-		done:     make(chan struct{}),
+		opts:       opts,
+		store:      opts.Store,
+		wal:        wal,
+		base:       make(map[string]baseApp, len(apps)),
+		ttl:        opts.TTL,
+		journal:    opts.Journal,
+		overhead:   opts.Overhead,
+		ctls:       make(map[bucketAddr]*bucketCtl),
+		nodes:      make(map[string]*nodeSeen),
+		nodeGauges: make(map[string]bool),
+		dispatch:   make(chan struct{}, 1),
+		done:       make(chan struct{}),
 	}
 	for _, a := range apps {
 		entry := a.Entry
@@ -188,6 +222,7 @@ func NewCoordinator(apps []fleet.App, opts CoordinatorOptions) (*Coordinator, er
 	// survives (the next grant goes above it, so a zombie leaseholder
 	// can never pass validation again) and the bucket re-queues when
 	// production re-interns it.
+	now := time.Now()
 	for addr, rb := range recovered.Buckets {
 		ctl := &bucketCtl{
 			addr:         addr,
@@ -197,6 +232,30 @@ func NewCoordinator(apps []fleet.App, opts CoordinatorOptions) (*Coordinator, er
 			iterations:   rb.Iterations,
 			redispatches: rb.Redispatches,
 			notify:       make(chan struct{}),
+			firstSeen:    rb.FirstSeen,
+			resolvedAt:   rb.ResolvedAt,
+		}
+		// Restore the timeline skeleton: the trace id and ingest
+		// time persisted on the grant, the final replay span on the
+		// resolution — so ingest-through-resolve still renders for
+		// buckets that completed before the crash.
+		if rb.Trace != 0 {
+			ctl.trace = telemetry.SpanContext{TraceID: rb.Trace, SpanID: telemetry.SpanID(rb.Trace)}
+		}
+		if !ctl.firstSeen.IsZero() {
+			ctl.eventLocked(ctl.firstSeen, "ingest", telemetry.A("recovered", true))
+		}
+		ctl.eventLocked(now, "recovered", telemetry.A("term", rb.Term))
+		if rb.Span != nil {
+			ctl.remoteSpanLocked(rb.Term, *rb.Span)
+			node := rb.Node
+			if node == "" {
+				node = rb.Span.Attrs["node"]
+			}
+			ctl.leaseLog = append(ctl.leaseLog, leaseWindow{
+				term: rb.Term, node: node, start: rb.Span.Start,
+				end: rb.ResolvedAt, reason: "resolved",
+			})
 		}
 		if rb.Resolved {
 			ctl.state = ctlResolved
@@ -213,6 +272,8 @@ func NewCoordinator(apps []fleet.App, opts CoordinatorOptions) (*Coordinator, er
 					wal.Close()
 					return nil, err
 				}
+				ctl.eventLocked(now, "fenced",
+					telemetry.A("term", rb.Term), telemetry.A("node", rb.Node))
 				ctl.redispatches++
 				c.expired.Add(1)
 				c.redispatched.Add(1)
@@ -262,6 +323,9 @@ func (c *Coordinator) Start() error {
 	srv, err := telemetry.Serve(c.opts.Listen, telemetry.ServerOptions{
 		Registry: c.opts.Fleet.Telemetry,
 		Tracer:   c.opts.Fleet.Tracer,
+		Journal:  c.journal,
+		Overhead: c.overhead,
+		Timeline: func() interface{} { return c.Timelines() },
 		Pprof:    c.opts.Pprof,
 		Debug: func() interface{} {
 			return map[string]interface{}{
@@ -306,16 +370,23 @@ func (c *Coordinator) Wait() (*fleet.Result, error) {
 	return res, ferr
 }
 
-// crash abandons the coordinator without draining, checkpointing, or
-// resolving anything — the kill -9 path the restart tests exercise.
-// The store stays open (it belongs to the caller).
-func (c *Coordinator) crash() {
+// Crash abandons the coordinator without draining, checkpointing, or
+// resolving anything — the kill -9 path the restart tests and the
+// obs benchmark's coordinator-restart run exercise. The store stays
+// open (it belongs to the caller).
+func (c *Coordinator) Crash() {
 	close(c.done)
 	c.wg.Wait()
 	c.server.Close()
 	c.fleet.Abandon()
 	c.wal.Close()
 }
+
+// Close releases a coordinator that was never started — the WAL
+// handle is the only resource NewCoordinator acquires. It exists for
+// recovery inspection (reopen the WAL, read Timelines, close);
+// started coordinators shut down through Wait or Crash instead.
+func (c *Coordinator) Close() { c.wal.Close() }
 
 // --- fleet.RemoteTriage ---
 
@@ -324,6 +395,7 @@ func (c *Coordinator) crash() {
 // or, if the WAL already carries its verdict, resolves it on the spot.
 func (c *Coordinator) NewBucket(b *fleet.Bucket) {
 	addr := bucketAddr{b.App, tracestore.KeyOf(b.Sig)}
+	now := time.Now()
 	c.mu.Lock()
 	ctl := c.ctls[addr]
 	if ctl == nil {
@@ -334,23 +406,44 @@ func (c *Coordinator) NewBucket(b *fleet.Bucket) {
 	if ctl.sig == nil {
 		ctl.sig = b.Sig
 	}
+	// Mint the bucket's trace identity at first ingest (recovered
+	// buckets keep the id the WAL grant persisted). The root span id
+	// equals the trace id by convention; lease grants hand this
+	// context to nodes so their replay trees stitch back under it.
+	if !ctl.trace.Valid() {
+		id := telemetry.NewTraceID()
+		ctl.trace = telemetry.SpanContext{TraceID: id, SpanID: telemetry.SpanID(id)}
+	}
+	if ctl.firstSeen.IsZero() {
+		ctl.firstSeen = now
+		ctl.eventLocked(now, "ingest", telemetry.A("sig", b.Sig.Error()))
+	}
 	if ctl.state == ctlResolved {
 		rep := ctl.report
 		c.mu.Unlock()
 		c.fleet.ResolveBucket(b, rep)
+		c.journal.Log(telemetry.LevelInfo, "cluster", "bucket resolved from recovered WAL verdict",
+			telemetry.A("app", addr.App), telemetry.A("key", fmt.Sprintf("%#x", addr.Key)))
 		c.logf("cluster: bucket %s/%#x: resolved from recovered WAL verdict", addr.App, addr.Key)
 		return
 	}
 	c.enqueueLocked(ctl)
 	c.mu.Unlock()
+	c.journal.Log(telemetry.LevelInfo, "cluster", "bucket ingested",
+		telemetry.A("app", addr.App), telemetry.A("key", fmt.Sprintf("%#x", addr.Key)),
+		telemetry.A("trace", ctl.trace.TraceID.String()))
 }
 
 // Banked wakes any node long-polling for this bucket's next banked
-// occurrence.
+// occurrence, and marks the first archive on the timeline.
 func (c *Coordinator) Banked(b *fleet.Bucket, seq uint64) {
 	addr := bucketAddr{b.App, tracestore.KeyOf(b.Sig)}
 	c.mu.Lock()
 	if ctl := c.ctls[addr]; ctl != nil {
+		if !ctl.archived {
+			ctl.archived = true
+			ctl.eventLocked(time.Now(), "archive", telemetry.A("seq", seq))
+		}
 		close(ctl.notify)
 		ctl.notify = make(chan struct{})
 	}
@@ -388,6 +481,7 @@ func (c *Coordinator) grantLocked(node string) (*bucketCtl, uint64, error) {
 		if err := c.wal.Append(walRecord{
 			T: walGrant, App: ctl.addr.App, Key: ctl.addr.Key,
 			Node: node, Term: ctl.term, Sig: ctl.sig,
+			Trace: ctl.trace.TraceID, FirstSeen: ctl.firstSeen,
 		}); err != nil {
 			ctl.term--
 			c.enqueueLocked(ctl)
@@ -395,7 +489,9 @@ func (c *Coordinator) grantLocked(node string) (*bucketCtl, uint64, error) {
 		}
 		ctl.state = ctlLeased
 		ctl.node = node
-		ctl.expiry = time.Now().Add(c.ttl)
+		now := time.Now()
+		ctl.expiry = now.Add(c.ttl)
+		ctl.openLeaseLocked(ctl.term, node, now)
 		c.granted.Add(1)
 		return ctl, ctl.term, nil
 	}
@@ -445,11 +541,23 @@ func (c *Coordinator) sweeper() {
 				T: walExpire, App: ctl.addr.App, Key: ctl.addr.Key,
 				Node: ctl.node, Term: ctl.term,
 			}); err != nil {
+				// Previously a silent log line: a WAL that stops
+				// accepting expiries threatens the fencing invariant,
+				// so it is journaled at error level.
+				c.journal.Log(telemetry.LevelError, "cluster", "wal expire append failed",
+					telemetry.A("app", ctl.addr.App), telemetry.A("key", fmt.Sprintf("%#x", ctl.addr.Key)),
+					telemetry.A("term", ctl.term), telemetry.A("err", err))
 				c.logf("cluster: wal expire: %v", err)
 				continue // retried next sweep
 			}
+			c.journal.Log(telemetry.LevelWarn, "cluster", "lease expired; re-dispatching",
+				telemetry.A("app", ctl.addr.App), telemetry.A("key", fmt.Sprintf("%#x", ctl.addr.Key)),
+				telemetry.A("term", ctl.term), telemetry.A("node", ctl.node))
 			c.logf("cluster: lease %s/%#x term %d on %s expired; re-dispatching",
 				ctl.addr.App, ctl.addr.Key, ctl.term, ctl.node)
+			ctl.closeLeaseLocked(ctl.term, "expired", now)
+			ctl.eventLocked(now, "expire",
+				telemetry.A("term", ctl.term), telemetry.A("node", ctl.node))
 			ctl.state = ctlPending
 			ctl.node = ""
 			ctl.redispatches++
@@ -475,6 +583,11 @@ func (c *Coordinator) checkpointLocked() {
 			App: ctl.addr.App, Key: ctl.addr.Key, Sig: ctl.sig,
 			Term: ctl.term, Version: ctl.version,
 			Iterations: ctl.iterations, Redispatches: ctl.redispatches,
+			Trace: ctl.trace.TraceID, FirstSeen: ctl.firstSeen,
+			ResolvedAt: ctl.resolvedAt,
+		}
+		if sn, ok := ctl.remote[ctl.term]; ok {
+			rb.Span = &sn
 		}
 		switch ctl.state {
 		case ctlResolved:
@@ -482,10 +595,13 @@ func (c *Coordinator) checkpointLocked() {
 			rb.Report = ctl.report
 		case ctlLeased:
 			rb.Leased = true
+			rb.Node = ctl.node
 		}
 		state = append(state, rb)
 	}
 	if err := c.wal.Checkpoint(state); err != nil {
+		c.journal.Log(telemetry.LevelError, "cluster", "wal checkpoint failed",
+			telemetry.A("err", err))
 		c.logf("cluster: wal checkpoint: %v", err)
 	}
 }
@@ -550,6 +666,8 @@ func (c *Coordinator) snapshotLocked() ClusterSnapshot {
 		}
 		snap.Nodes = append(snap.Nodes, NodeInfo{
 			Name: name, Leases: leasesBy[name], LastSeen: ns.last.Format(time.RFC3339Nano),
+			Goroutines: ns.health.Goroutines, HeapBytes: ns.health.HeapBytes,
+			Buckets: ns.health.Buckets,
 		})
 	}
 	sort.Slice(snap.Nodes, func(i, j int) bool { return snap.Nodes[i].Name < snap.Nodes[j].Name })

@@ -8,6 +8,7 @@ import (
 
 	"execrecon/internal/prod"
 	"execrecon/internal/pt"
+	"execrecon/internal/telemetry"
 )
 
 // maxPollWait bounds every long-poll (lease and fetch) so a dead
@@ -86,6 +87,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 				Status: okStatus(), Granted: true,
 				App: ctl.addr.App, Key: ctl.addr.Key, Sig: ctl.sig,
 				Term: term, TTLMillis: c.ttl.Milliseconds(),
+				Trace: ctl.trace,
 			})
 			return
 		}
@@ -116,6 +118,12 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 	c.touchNode(req.Node)
 	addr := bucketAddr{req.App, req.Key}
 	c.mu.Lock()
+	if req.Health != nil {
+		if ns := c.nodes[req.Node]; ns != nil {
+			ns.health = *req.Health
+			c.nodeGaugesLocked(req.Node)
+		}
+	}
 	ctl := c.ctls[addr]
 	if !ctl.validateLocked(req.Node, req.Term) {
 		c.mu.Unlock()
@@ -125,6 +133,12 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 	ctl.expiry = time.Now().Add(c.ttl)
 	if req.Iterations > ctl.iterations {
 		ctl.iterations = req.Iterations
+	}
+	if req.Span != nil {
+		// Heartbeats ship the node's latest open replay snapshot: even a
+		// node that dies mid-reconstruction leaves its partial subtree on
+		// the bucket timeline.
+		ctl.remoteSpanLocked(req.Term, *req.Span)
 	}
 	err := c.wal.Append(walRecord{
 		T: walRenew, App: req.App, Key: req.Key,
@@ -172,6 +186,11 @@ func (c *Coordinator) handleFetch(w http.ResponseWriter, r *http.Request) {
 			}
 			raw, info, err := c.store.ReadRaw(req.Key, ri.Seq)
 			if err != nil {
+				// Previously a silent log line: an unreadable archive
+				// record means the node's replay skips an occurrence.
+				c.journal.Log(telemetry.LevelWarn, "cluster", "archived occurrence unreadable; skipped",
+					telemetry.A("app", req.App), telemetry.A("key", fmt.Sprintf("%#x", req.Key)),
+					telemetry.A("seq", ri.Seq), telemetry.A("err", err))
 				c.logf("cluster: fetch %s/%#x seq %d: %v", req.App, req.Key, ri.Seq, err)
 				continue
 			}
@@ -255,7 +274,16 @@ func (c *Coordinator) handleRollout(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctl.version = req.Version
+	ctl.eventLocked(time.Now(), "rollout",
+		telemetry.A("version", req.Version), telemetry.A("sites", req.Sites),
+		telemetry.A("cost_bytes", req.CostBytes))
 	c.mu.Unlock()
+	// Attribute the version's recording-set cost to the overhead
+	// accountant's (app, version) ledger cell.
+	c.overhead.SetRecordingCost(req.App, req.Version, req.Sites, req.CostBytes)
+	c.journal.Log(telemetry.LevelInfo, "cluster", "rollout deployed",
+		telemetry.A("app", req.App), telemetry.A("key", fmt.Sprintf("%#x", req.Key)),
+		telemetry.A("version", req.Version), telemetry.A("sites", req.Sites))
 	if err := c.fleet.Rollout(req.App, mod, req.Version); err != nil {
 		writeJSON(w, RolloutResponse{Status: rejection("%v", err)})
 		return
@@ -286,9 +314,11 @@ func (c *Coordinator) handleResolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, ResolveResponse{Status: rejection("lease lost")})
 		return
 	}
+	now := time.Now()
 	if err := c.wal.Append(walRecord{
 		T: walResolve, App: req.App, Key: req.Key,
 		Node: req.Node, Term: req.Term, Sig: ctl.sig, Report: req.Report,
+		At: now, Span: req.Span,
 	}); err != nil {
 		c.mu.Unlock()
 		writeJSON(w, ResolveResponse{Status: rejection("wal: %v", err)})
@@ -297,6 +327,14 @@ func (c *Coordinator) handleResolve(w http.ResponseWriter, r *http.Request) {
 	ctl.state = ctlResolved
 	ctl.report = req.Report
 	ctl.node = ""
+	ctl.resolvedAt = now
+	ctl.closeLeaseLocked(req.Term, "resolved", now)
+	if req.Span != nil {
+		ctl.remoteSpanLocked(req.Term, *req.Span)
+	}
+	ctl.eventLocked(now, "resolve",
+		telemetry.A("node", req.Node), telemetry.A("reproduced", req.Report.Reproduced),
+		telemetry.A("verified", req.Report.Verified))
 	if n := len(req.Report.Iterations); n > ctl.iterations {
 		ctl.iterations = n
 	}
@@ -305,6 +343,10 @@ func (c *Coordinator) handleResolve(w http.ResponseWriter, r *http.Request) {
 	c.maybeCheckpointLocked()
 	c.mu.Unlock()
 	c.fleet.ResolveBucket(b, req.Report)
+	c.journal.Log(telemetry.LevelInfo, "cluster", "bucket resolved",
+		telemetry.A("app", req.App), telemetry.A("key", fmt.Sprintf("%#x", req.Key)),
+		telemetry.A("node", req.Node), telemetry.A("reproduced", req.Report.Reproduced),
+		telemetry.A("verified", req.Report.Verified))
 	c.logf("cluster: bucket %s/%#x resolved by %s (reproduced=%v verified=%v)",
 		req.App, req.Key, req.Node, req.Report.Reproduced, req.Report.Verified)
 	writeJSON(w, ResolveResponse{Status: okStatus()})

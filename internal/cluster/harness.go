@@ -48,6 +48,15 @@ type HarnessOptions struct {
 	// Telemetry, when set, receives the er_fleet_*/er_cluster_*
 	// series.
 	Telemetry *telemetry.Registry
+	// Journal, when set, receives the coordinator's and fleet's
+	// structured events.
+	Journal *telemetry.Journal
+	// Overhead, when set, is the recording-overhead accountant the
+	// coordinator's machines and rollouts report into.
+	Overhead *telemetry.Overhead
+	// NodeTracers, when true, gives every node its own tracer so
+	// replay span trees ship back and stitch into bucket timelines.
+	NodeTracers bool
 	// Log receives progress lines.
 	Log io.Writer
 }
@@ -62,6 +71,9 @@ type HarnessResult struct {
 	NodeResolved []int64
 	// Killed is the chaos victim's index (-1 without chaos).
 	Killed int
+	// Timelines is every bucket's stitched end-to-end timeline,
+	// captured before shutdown.
+	Timelines []BucketTimeline
 }
 
 // RunHarness runs an in-process cluster to completion: coordinator on
@@ -96,12 +108,16 @@ func RunHarness(opts HarnessOptions) (*HarnessResult, error) {
 			Pace:           opts.Pace,
 			Timeout:        opts.Timeout,
 			Telemetry:      opts.Telemetry,
+			Journal:        opts.Journal,
+			Overhead:       opts.Overhead,
 			Log:            opts.Log,
 		},
-		Store:   store,
-		WALPath: filepath.Join(opts.Dir, "lease.wal"),
-		TTL:     opts.TTL,
-		Log:     opts.Log,
+		Store:    store,
+		WALPath:  filepath.Join(opts.Dir, "lease.wal"),
+		TTL:      opts.TTL,
+		Journal:  opts.Journal,
+		Overhead: opts.Overhead,
+		Log:      opts.Log,
 	})
 	if err != nil {
 		return nil, err
@@ -112,6 +128,10 @@ func RunHarness(opts HarnessOptions) (*HarnessResult, error) {
 
 	nodes := make([]*Node, opts.Nodes)
 	for i := range nodes {
+		var tracer *telemetry.Tracer
+		if opts.NodeTracers {
+			tracer = telemetry.NewTracer(0)
+		}
 		n, err := NewNode(NodeOptions{
 			Name:             fmt.Sprintf("node-%d", i),
 			Coordinator:      coord.URL(),
@@ -120,13 +140,14 @@ func RunHarness(opts HarnessOptions) (*HarnessResult, error) {
 			SolverSessions:   opts.SolverSessions,
 			PortfolioWorkers: opts.PortfolioWorkers,
 			Speculate:        opts.Speculate,
+			Tracer:           tracer,
 			Log:              opts.Log,
 		})
 		if err == nil {
 			err = n.Start()
 		}
 		if err != nil {
-			coord.crash()
+			coord.Crash()
 			for _, m := range nodes[:i] {
 				m.Close()
 			}
@@ -156,9 +177,10 @@ func RunHarness(opts HarnessOptions) (*HarnessResult, error) {
 		n.Close()
 	}
 	out := &HarnessResult{
-		Fleet:   res,
-		Cluster: coord.Snapshot(),
-		Killed:  killed,
+		Fleet:     res,
+		Cluster:   coord.Snapshot(),
+		Killed:    killed,
+		Timelines: coord.Timelines(),
 	}
 	for _, n := range nodes {
 		out.NodeResolved = append(out.NodeResolved, n.Resolved())

@@ -10,6 +10,7 @@ func (c *Coordinator) registerMetrics(r *telemetry.Registry) {
 	if r == nil {
 		return
 	}
+	c.reg = r
 	r.GaugeFunc("er_cluster_nodes_live",
 		"Triage nodes heard from within the liveness window (3×TTL).",
 		func() float64 { return float64(c.nodesLive()) })
@@ -34,4 +35,45 @@ func (c *Coordinator) registerMetrics(r *telemetry.Registry) {
 	r.GaugeFunc("er_cluster_wal_bytes",
 		"Current size of the lease/commit write-ahead log.",
 		func() float64 { return float64(c.wal.Bytes()) })
+}
+
+// nodeGaugesLocked registers the er_node_* vitals series for a node
+// on first contact (heartbeats keep the backing nodeSeen.health
+// fresh; the closures read it under c.mu at collection time). Callers
+// hold c.mu.
+func (c *Coordinator) nodeGaugesLocked(name string) {
+	if c.reg == nil || c.nodeGauges[name] {
+		return
+	}
+	c.nodeGauges[name] = true
+	node := telemetry.L("node", name)
+	health := func(f func(NodeHealth, int) float64) func() float64 {
+		return func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			ns := c.nodes[name]
+			if ns == nil {
+				return 0
+			}
+			leases := 0
+			for _, ctl := range c.ctls {
+				if ctl.state == ctlLeased && ctl.node == name {
+					leases++
+				}
+			}
+			return f(ns.health, leases)
+		}
+	}
+	c.reg.GaugeFunc("er_node_goroutines",
+		"Goroutines on the triage node, from its last heartbeat.",
+		health(func(h NodeHealth, _ int) float64 { return float64(h.Goroutines) }), node)
+	c.reg.GaugeFunc("er_node_heap_bytes",
+		"Heap bytes in use on the triage node, from its last heartbeat.",
+		health(func(h NodeHealth, _ int) float64 { return float64(h.HeapBytes) }), node)
+	c.reg.GaugeFunc("er_node_buckets",
+		"Bucket leases the triage node reports holding.",
+		health(func(h NodeHealth, _ int) float64 { return float64(h.Buckets) }), node)
+	c.reg.GaugeFunc("er_node_leases",
+		"Bucket leases the coordinator's lease table holds for the node.",
+		health(func(_ NodeHealth, leases int) float64 { return float64(leases) }), node)
 }

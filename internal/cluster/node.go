@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"execrecon/internal/fleet"
 	"execrecon/internal/pt"
 	"execrecon/internal/symex"
+	"execrecon/internal/telemetry"
 	"execrecon/internal/vm"
 )
 
@@ -38,6 +40,12 @@ type NodeOptions struct {
 	PortfolioWorkers      int
 	PortfolioCubeVars     int
 	Speculate             bool
+	// Tracer records each leased bucket's replay as a span tree rooted
+	// under the coordinator's bucket span (the lease grant carries the
+	// parent context); snapshots ship back on heartbeats and with the
+	// resolution. Nil disables span shipping (timelines still render
+	// from coordinator-side events alone).
+	Tracer *telemetry.Tracer
 	// Log receives progress lines.
 	Log io.Writer
 }
@@ -57,8 +65,20 @@ type Node struct {
 	started  atomic.Bool
 	killed   atomic.Bool
 	leases   atomic.Int64 // leases accepted over the node's lifetime
+	held     atomic.Int64 // leases currently held (heartbeat vitals)
 	resolved atomic.Int64 // buckets this node resolved
 	lost     atomic.Int64 // leases lost (fenced or expired under us)
+}
+
+// health samples the node's runtime vitals for a heartbeat.
+func (n *Node) health() *NodeHealth {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &NodeHealth{
+		Goroutines: runtime.NumGoroutine(),
+		HeapBytes:  ms.HeapAlloc,
+		Buckets:    int(n.held.Load()),
+	}
 }
 
 // NewNode validates the options and assembles a node (not yet
@@ -178,6 +198,25 @@ func (n *Node) runLease(l *LeaseResponse) {
 	}
 	leaseCtx, leaseCancel := context.WithCancel(n.ctx)
 	defer leaseCancel()
+	n.held.Add(1)
+	defer n.held.Add(-1)
+
+	// Open the replay span as a remote child of the coordinator's
+	// bucket span (the grant carried its context). The replay loop
+	// refreshes spanSnap after every feed; the heartbeat goroutine
+	// ships whatever is latest, so a node killed mid-reconstruction
+	// still leaves its partial subtree on the bucket timeline.
+	replay := n.opts.Tracer.StartRemote("replay", l.Trace,
+		telemetry.A("node", n.opts.Name), telemetry.A("app", l.App),
+		telemetry.A("key", fmt.Sprintf("%#x", l.Key)), telemetry.A("term", l.Term))
+	var spanSnap atomic.Pointer[telemetry.SpanSnapshot]
+	shipSnap := func() {
+		if replay != nil {
+			sn := replay.Snapshot()
+			spanSnap.Store(&sn)
+		}
+	}
+	shipSnap()
 
 	p, err := core.NewPipeline(core.Config{
 		Module:                app.Module,
@@ -189,6 +228,8 @@ func (n *Node) runLease(l *LeaseResponse) {
 		PortfolioWorkers:      n.opts.PortfolioWorkers,
 		PortfolioCubeVars:     n.opts.PortfolioCubeVars,
 		Speculate:             n.opts.Speculate,
+		Tracer:                n.opts.Tracer,
+		ParentSpan:            replay,
 		Log:                   n.opts.Log,
 	})
 	if err != nil {
@@ -196,7 +237,7 @@ func (n *Node) runLease(l *LeaseResponse) {
 		// pair; resolving as failed beats leaving the bucket to ping
 		// between equally broken nodes forever.
 		n.logf("pipeline for %s: %v", l.App, err)
-		n.resolve(l, &core.Report{Failure: l.Sig, FailReason: err.Error()})
+		n.resolve(l, &core.Report{Failure: l.Sig, FailReason: err.Error()}, replay)
 		return
 	}
 
@@ -214,7 +255,12 @@ func (n *Node) runLease(l *LeaseResponse) {
 				return
 			case <-t.C:
 			}
-			resp, err := n.client.Renew(l.App, l.Key, l.Term, int(iters.Load()))
+			resp, err := n.client.Renew(&RenewRequest{
+				App: l.App, Key: l.Key, Term: l.Term,
+				Iterations: int(iters.Load()),
+				Span:       spanSnap.Load(),
+				Health:     n.health(),
+			})
 			if err != nil || !resp.OK {
 				if err == nil {
 					n.lost.Add(1)
@@ -272,13 +318,17 @@ func (n *Node) runLease(l *LeaseResponse) {
 			n.logf("pipeline %s/%#x: %v", l.App, l.Key, err)
 		}
 		iters.Store(int32(len(p.Report().Iterations)))
+		shipSnap()
 		if p.Version() != before && !p.Done() {
 			// Key data values selected: ship the full accumulated
 			// chain so the coordinator can rebuild and deploy the
 			// instrumented module statelessly.
+			chain := chainOf(p.Report())
+			sites, costBytes := recordingCostOf(p.Report())
 			resp, err := n.client.Rollout(&RolloutRequest{
 				App: l.App, Key: l.Key, Term: l.Term,
-				Version: p.Version(), Chain: chainOf(p.Report()),
+				Version: p.Version(), Chain: chain,
+				Sites: sites, CostBytes: costBytes,
 			})
 			if err != nil {
 				n.logf("rollout %s/%#x v%d: %v", l.App, l.Key, p.Version(), err)
@@ -294,14 +344,24 @@ func (n *Node) runLease(l *LeaseResponse) {
 	if leaseCtx.Err() != nil {
 		return // killed or fenced between the last feed and here
 	}
-	n.resolve(l, p.Report())
+	n.resolve(l, p.Report(), replay)
 }
 
-// resolve commits the verdict; a fenced resolve is logged and
-// dropped (the surviving leaseholder will resolve instead).
-func (n *Node) resolve(l *LeaseResponse, rep *core.Report) {
+// resolve commits the verdict, shipping the finished replay span tree
+// so the coordinator can pin the final remote subtree on the bucket
+// timeline; a fenced resolve is logged and dropped (the surviving
+// leaseholder will resolve instead).
+func (n *Node) resolve(l *LeaseResponse, rep *core.Report, replay *telemetry.Span) {
+	var span *telemetry.SpanSnapshot
+	if replay != nil {
+		replay.SetAttr("reproduced", rep.Reproduced)
+		replay.SetAttr("verified", rep.Verified)
+		replay.End()
+		sn := replay.Snapshot()
+		span = &sn
+	}
 	resp, err := n.client.Resolve(&ResolveRequest{
-		App: l.App, Key: l.Key, Term: l.Term, Report: rep,
+		App: l.App, Key: l.Key, Term: l.Term, Report: rep, Span: span,
 	})
 	if err != nil {
 		n.logf("resolve %s/%#x: %v", l.App, l.Key, err)
@@ -327,6 +387,20 @@ func chainOf(rep *core.Report) [][]symex.SiteKey {
 		}
 	}
 	return chain
+}
+
+// recordingCostOf totals the accumulated recording set across the
+// report's stall iterations: the site count and estimated
+// per-occurrence byte cost of the version about to roll out (the
+// chain is cumulative, so the totals are too).
+func recordingCostOf(rep *core.Report) (sites int, costBytes int64) {
+	for _, it := range rep.Iterations {
+		if len(it.Sites) > 0 {
+			sites += len(it.Sites)
+			costBytes += it.RecordingCost
+		}
+	}
+	return sites, costBytes
 }
 
 // occurrenceFromFetch rebuilds a pipeline occurrence from a fetched

@@ -1,0 +1,413 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"execrecon/internal/fleet"
+	"execrecon/internal/telemetry"
+	"execrecon/internal/tracestore"
+)
+
+// requireCompleteTimeline asserts a resolved bucket's stitched
+// timeline covers ingest through resolve and carries a remote replay
+// subtree joined to the bucket's trace. restart relaxes the point-event
+// checks to the durable skeleton (intermediate events are not
+// replayed from the WAL; the resolution shows as ResolvedAt).
+func requireCompleteTimeline(t *testing.T, tl BucketTimeline, restart bool) {
+	t.Helper()
+	if tl.State != "resolved" {
+		t.Errorf("bucket %s/%#x: state = %s, want resolved", tl.App, tl.Key, tl.State)
+	}
+	if tl.TraceID == "" || tl.TraceID == "0000000000000000" {
+		t.Errorf("bucket %s/%#x: no trace id", tl.App, tl.Key)
+	}
+	if tl.FirstSeen.IsZero() || tl.ResolvedAt.IsZero() {
+		t.Errorf("bucket %s/%#x: lifecycle timestamps missing (%v, %v)",
+			tl.App, tl.Key, tl.FirstSeen, tl.ResolvedAt)
+	}
+	if tl.Root.Name != "bucket" || tl.Root.Open {
+		t.Errorf("bucket %s/%#x: root = %q open=%v", tl.App, tl.Key, tl.Root.Name, tl.Root.Open)
+	}
+	var hasIngest, hasResolve, hasReplay, stitched bool
+	leases := 0
+	for _, ch := range tl.Root.Children {
+		switch ch.Name {
+		case "ingest":
+			hasIngest = true
+		case "resolve":
+			hasResolve = true
+		case "lease":
+			leases++
+			for _, r := range ch.Children {
+				if r.Name != "replay" {
+					continue
+				}
+				hasReplay = true
+				if r.TraceID == tl.TraceID && r.ParentID == tl.Root.SpanID {
+					stitched = true
+				}
+			}
+		}
+	}
+	if !hasIngest {
+		t.Errorf("bucket %s/%#x: no ingest event", tl.App, tl.Key)
+	}
+	if !restart && !hasResolve {
+		t.Errorf("bucket %s/%#x: no resolve event", tl.App, tl.Key)
+	}
+	if leases == 0 {
+		t.Errorf("bucket %s/%#x: no lease window", tl.App, tl.Key)
+	}
+	if !hasReplay {
+		t.Errorf("bucket %s/%#x: no remote replay subtree", tl.App, tl.Key)
+	}
+	if hasReplay && !stitched {
+		t.Errorf("bucket %s/%#x: replay subtree not joined to the bucket trace", tl.App, tl.Key)
+	}
+}
+
+// TestWireTraceContextRoundTrip drives the /v1/* envelopes by hand:
+// the lease grant must carry the bucket's span context, a heartbeat
+// must ship a span snapshot and node health that land on the timeline
+// and the node table, and a heartbeat speaking the wrong protocol
+// version must be rejected in the envelope.
+func TestWireTraceContextRoundTrip(t *testing.T) {
+	apps := testApps(t)[:1] // alpha
+	dir := t.TempDir()
+	store, err := tracestore.Open(filepath.Join(dir, "store"), tracestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	coord, err := NewCoordinator(apps, CoordinatorOptions{
+		Fleet:   fleet.Options{MachinesPerApp: 1, Pace: 50 * time.Microsecond, Timeout: 60 * time.Second},
+		Store:   store,
+		WALPath: filepath.Join(dir, "lease.wal"),
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer coord.Crash()
+
+	cl := NewClient(coord.URL(), "hand-node")
+	var lr *LeaseResponse
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		lr, err = cl.Lease(time.Second)
+		if err != nil {
+			t.Fatalf("lease: %v", err)
+		}
+		if lr.Granted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no lease granted")
+		}
+	}
+	if !lr.Trace.Valid() {
+		t.Fatalf("lease grant carries no trace context: %+v", lr)
+	}
+
+	// A remote replay span opened under the granted context, shipped
+	// on a heartbeat with node vitals.
+	tracer := telemetry.NewTracer(0)
+	replay := tracer.StartRemote("replay", lr.Trace, telemetry.A("node", "hand-node"))
+	sn := replay.Snapshot()
+	rr, err := cl.Renew(&RenewRequest{
+		App: lr.App, Key: lr.Key, Term: lr.Term,
+		Iterations: 1,
+		Span:       &sn,
+		Health:     &NodeHealth{Goroutines: 7, HeapBytes: 12345, Buckets: 1},
+	})
+	if err != nil || !rr.OK {
+		t.Fatalf("renew: %v %+v", err, rr)
+	}
+
+	tl, ok := coord.TimelineOf(lr.App, lr.Key)
+	if !ok {
+		t.Fatal("no timeline for the leased bucket")
+	}
+	if tl.TraceID != lr.Trace.TraceID.String() {
+		t.Errorf("timeline trace = %s, wire grant = %s", tl.TraceID, lr.Trace.TraceID)
+	}
+	var found bool
+	for _, ch := range tl.Root.Children {
+		if ch.Name != "lease" {
+			continue
+		}
+		for _, r := range ch.Children {
+			if r.Name == "replay" && r.ParentID == tl.Root.SpanID && r.TraceID == tl.TraceID {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("heartbeat span not attached under the lease window: %+v", tl.Root)
+	}
+	snap := coord.Snapshot()
+	var health *NodeInfo
+	for i := range snap.Nodes {
+		if snap.Nodes[i].Name == "hand-node" {
+			health = &snap.Nodes[i]
+		}
+	}
+	if health == nil || health.Goroutines != 7 || health.HeapBytes != 12345 || health.Buckets != 1 {
+		t.Errorf("node health not surfaced: %+v", health)
+	}
+
+	// Wrong protocol version in the heartbeat envelope: HTTP 200 with
+	// an envelope rejection naming the version skew.
+	body, _ := json.Marshal(&RenewRequest{
+		V: ProtocolVersion + 1, Node: "hand-node",
+		App: lr.App, Key: lr.Key, Term: lr.Term,
+	})
+	resp, err := http.Post(coord.URL()+PathRenew, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("version mismatch: HTTP %d, want 200 + envelope rejection", resp.StatusCode)
+	}
+	var rr2 RenewResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr2); err != nil {
+		t.Fatal(err)
+	}
+	if rr2.OK || !strings.Contains(rr2.Err, "protocol version") {
+		t.Errorf("version mismatch response = %+v", rr2)
+	}
+}
+
+// TestClusterTimelineStitching runs the three-app mix across two
+// tracer-equipped nodes and checks every resolved bucket renders one
+// stitched ingest-through-resolve timeline, with gamma's rollout leg
+// on it.
+func TestClusterTimelineStitching(t *testing.T) {
+	apps := testApps(t)
+	journal := telemetry.NewJournal(telemetry.JournalOptions{})
+	overhead := telemetry.NewOverhead(telemetry.OverheadOptions{Journal: journal})
+	res, err := RunHarness(HarnessOptions{
+		Apps:           apps,
+		Nodes:          2,
+		WorkersPerNode: 2,
+		Dir:            t.TempDir(),
+		MachinesPerApp: 2,
+		Pace:           50 * time.Microsecond,
+		Timeout:        90 * time.Second,
+		Journal:        journal,
+		Overhead:       overhead,
+		NodeTracers:    true,
+	})
+	if err != nil {
+		t.Fatalf("RunHarness: %v", err)
+	}
+	checkParity(t, res.Fleet, apps)
+	if len(res.Timelines) != len(apps) {
+		t.Fatalf("timelines = %d, want %d", len(res.Timelines), len(apps))
+	}
+	for _, tl := range res.Timelines {
+		requireCompleteTimeline(t, tl, false)
+		if tl.App == "gamma" {
+			var rollouts int
+			for _, ch := range tl.Root.Children {
+				if ch.Name == "rollout" {
+					rollouts++
+				}
+			}
+			if rollouts == 0 {
+				t.Errorf("gamma timeline has no rollout event: %+v", tl.Root.Children)
+			}
+		}
+	}
+	// The journal saw the lifecycle, and the accountant saw production.
+	if journal.Emitted() == 0 {
+		t.Error("journal saw no events")
+	}
+	var accounted uint64
+	for _, row := range overhead.Snapshot() {
+		accounted += row.Runs
+	}
+	if accounted == 0 {
+		t.Error("overhead accountant saw no production runs")
+	}
+}
+
+// TestClusterTimelineSurvivesRedispatch kills the leaseholder the
+// moment gamma's grant is observed, lets a survivor inherit through
+// TTL expiry, and requires the final timeline to carry both lease
+// windows — the victim's expired one and the survivor's resolved one
+// with its stitched replay tree.
+func TestClusterTimelineSurvivesRedispatch(t *testing.T) {
+	apps := testApps(t)[2:3] // gamma: long reconstruction window
+	dir := t.TempDir()
+	store, err := tracestore.Open(filepath.Join(dir, "store"), tracestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	coord, err := NewCoordinator(apps, CoordinatorOptions{
+		Fleet: fleet.Options{
+			MachinesPerApp: 2,
+			Pace:           50 * time.Microsecond,
+			Timeout:        90 * time.Second,
+		},
+		Store:   store,
+		WALPath: filepath.Join(dir, "lease.wal"),
+		TTL:     250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	victim, err := NewNode(NodeOptions{
+		Name: "victim", Coordinator: coord.URL(), Apps: apps, Workers: 1,
+		Tracer: telemetry.NewTracer(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if coord.Snapshot().Granted >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim never leased the bucket")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	victim.Kill()
+	survivor, err := NewNode(NodeOptions{
+		Name: "survivor", Coordinator: coord.URL(), Apps: apps, Workers: 1,
+		Tracer: telemetry.NewTracer(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := survivor.Start(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Wait()
+	victim.Close()
+	survivor.Close()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	checkParity(t, res, apps)
+
+	tls := coord.Timelines()
+	if len(tls) != 1 {
+		t.Fatalf("timelines = %d, want 1", len(tls))
+	}
+	tl := tls[0]
+	requireCompleteTimeline(t, tl, false)
+	if tl.Redispatches < 1 {
+		t.Errorf("redispatches = %d, want >= 1", tl.Redispatches)
+	}
+	var windows, expired, resolved int
+	var expireEvents int
+	for _, ch := range tl.Root.Children {
+		switch ch.Name {
+		case "lease":
+			windows++
+			switch ch.Attrs["outcome"] {
+			case "expired":
+				expired++
+			case "resolved":
+				resolved++
+			}
+		case "expire":
+			expireEvents++
+		}
+	}
+	if windows < 2 || expired < 1 || resolved != 1 || expireEvents < 1 {
+		t.Errorf("lease history: windows=%d expired=%d resolved=%d expireEvents=%d, want >=2/>=1/1/>=1\n%+v",
+			windows, expired, resolved, expireEvents, tl.Root.Children)
+	}
+}
+
+// TestClusterTimelineSurvivesRestart completes a traced two-node run,
+// then reopens the WAL with a fresh coordinator: the recovered
+// skeletons must still render ingest-through-resolve with the same
+// trace ids and the final replay spans.
+func TestClusterTimelineSurvivesRestart(t *testing.T) {
+	apps := testApps(t)[:2] // alpha + beta: fast, no solver leg
+	dir := t.TempDir()
+	res, err := RunHarness(HarnessOptions{
+		Apps:           apps,
+		Nodes:          2,
+		Dir:            dir,
+		MachinesPerApp: 2,
+		Pace:           50 * time.Microsecond,
+		Timeout:        90 * time.Second,
+		NodeTracers:    true,
+	})
+	if err != nil {
+		t.Fatalf("RunHarness: %v", err)
+	}
+	checkParity(t, res.Fleet, apps)
+	before := make(map[string]BucketTimeline, len(res.Timelines))
+	for _, tl := range res.Timelines {
+		requireCompleteTimeline(t, tl, false)
+		before[fmt.Sprintf("%s/%#x", tl.App, tl.Key)] = tl
+	}
+
+	store, err := tracestore.Open(filepath.Join(dir, "store"), tracestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	coord, err := NewCoordinator(apps, CoordinatorOptions{
+		Fleet:   fleet.Options{MachinesPerApp: 2, Timeout: time.Second},
+		Store:   store,
+		WALPath: filepath.Join(dir, "lease.wal"),
+	})
+	if err != nil {
+		t.Fatalf("restart NewCoordinator: %v", err)
+	}
+	defer coord.Close()
+	after := coord.Timelines()
+	if len(after) != len(before) {
+		t.Fatalf("recovered %d timelines, want %d", len(after), len(before))
+	}
+	for _, tl := range after {
+		requireCompleteTimeline(t, tl, true)
+		pre, ok := before[fmt.Sprintf("%s/%#x", tl.App, tl.Key)]
+		if !ok {
+			t.Errorf("recovered unknown bucket %s/%#x", tl.App, tl.Key)
+			continue
+		}
+		if tl.TraceID != pre.TraceID {
+			t.Errorf("bucket %s/%#x: trace id changed across restart: %s -> %s",
+				tl.App, tl.Key, pre.TraceID, tl.TraceID)
+		}
+		if !tl.ResolvedAt.Equal(pre.ResolvedAt) {
+			t.Errorf("bucket %s/%#x: resolution time changed across restart: %v -> %v",
+				tl.App, tl.Key, pre.ResolvedAt, tl.ResolvedAt)
+		}
+		var recovered bool
+		for _, ch := range tl.Root.Children {
+			if ch.Name == "recovered" {
+				recovered = true
+			}
+		}
+		if !recovered {
+			t.Errorf("bucket %s/%#x: no recovered marker on the restarted timeline", tl.App, tl.Key)
+		}
+	}
+}

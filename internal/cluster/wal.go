@@ -9,8 +9,10 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"execrecon/internal/core"
+	"execrecon/internal/telemetry"
 	"execrecon/internal/vm"
 )
 
@@ -59,6 +61,14 @@ type walRecord struct {
 	Version    int          `json:"version,omitempty"`
 	Iterations int          `json:"iterations,omitempty"`
 	Report     *core.Report `json:"report,omitempty"`
+	// Trace/FirstSeen ride on grants, At and Span on resolutions —
+	// the durable skeleton of the bucket's stitched timeline, so a
+	// restarted coordinator still renders ingest-through-resolve for
+	// buckets that completed before the crash.
+	Trace     telemetry.TraceID       `json:"trace,omitempty"`
+	FirstSeen time.Time               `json:"first_seen,omitempty"`
+	At        time.Time               `json:"at,omitempty"`
+	Span      *telemetry.SpanSnapshot `json:"span,omitempty"`
 	// State is the full lease table (checkpoint records only).
 	State []RecoveredBucket `json:"state,omitempty"`
 }
@@ -86,6 +96,13 @@ type RecoveredBucket struct {
 	// prevents a re-interned bucket from being triaged twice.
 	Resolved bool         `json:"resolved,omitempty"`
 	Report   *core.Report `json:"report,omitempty"`
+	// Timeline skeleton: the bucket's trace id, ingest time,
+	// resolution time, and the final remote replay span the resolving
+	// node shipped.
+	Trace      telemetry.TraceID       `json:"trace,omitempty"`
+	FirstSeen  time.Time               `json:"first_seen,omitempty"`
+	ResolvedAt time.Time               `json:"resolved_at,omitempty"`
+	Span       *telemetry.SpanSnapshot `json:"span,omitempty"`
 }
 
 // RecoveredState is the replay result of OpenWAL.
@@ -218,6 +235,12 @@ func replayWAL(recs []walRecord) *RecoveredState {
 			if b.Sig == nil {
 				b.Sig = rec.Sig
 			}
+			if b.Trace == 0 {
+				b.Trace = rec.Trace
+			}
+			if b.FirstSeen.IsZero() {
+				b.FirstSeen = rec.FirstSeen
+			}
 			if !b.Resolved {
 				b.Leased = true
 				b.Node = rec.Node
@@ -244,6 +267,8 @@ func replayWAL(recs []walRecord) *RecoveredState {
 			if !b.Resolved {
 				b.Resolved = true
 				b.Report = rec.Report
+				b.ResolvedAt = rec.At
+				b.Span = rec.Span
 			}
 			b.Leased = false
 			b.Node = ""

@@ -38,6 +38,7 @@ package cluster
 import (
 	"execrecon/internal/core"
 	"execrecon/internal/symex"
+	"execrecon/internal/telemetry"
 	"execrecon/internal/vm"
 )
 
@@ -45,7 +46,12 @@ import (
 // response carries it in V; the coordinator rejects mismatches with
 // OK=false so mixed deployments fail loudly instead of corrupting a
 // reconstruction.
-const ProtocolVersion = 1
+//
+// v2 added distributed trace propagation (lease grants carry the
+// bucket's SpanContext, renew/resolve ship span snapshots back),
+// piggybacked node health on renewals, and recording-cost attribution
+// on rollouts.
+const ProtocolVersion = 2
 
 // Wire paths (mounted on the coordinator's telemetry mux).
 const (
@@ -89,17 +95,35 @@ type LeaseResponse struct {
 	Sig       *vm.Failure `json:"sig,omitempty"`
 	Term      uint64      `json:"term,omitempty"`
 	TTLMillis int64       `json:"ttl_millis,omitempty"`
+	// Trace is the bucket timeline's span context: the node opens its
+	// replay span tree as a remote child of it, so the snapshots it
+	// ships back stitch under the coordinator's per-bucket timeline.
+	Trace telemetry.SpanContext `json:"trace"`
+}
+
+// NodeHealth is the node-side runtime vitals piggybacked on every
+// heartbeat — the coordinator surfaces them as er_node_* gauges.
+type NodeHealth struct {
+	Goroutines int    `json:"goroutines"`
+	HeapBytes  uint64 `json:"heap_bytes"`
+	Buckets    int    `json:"buckets"` // leases currently held
 }
 
 // RenewRequest is the lease heartbeat (sent at TTL/3). Iterations
-// reports reconstruction progress for the lease table.
+// reports reconstruction progress for the lease table; Span is the
+// latest open snapshot of the node's replay span tree (the
+// coordinator keeps the newest per term, so even a node that dies
+// mid-reconstruction leaves its partial subtree on the timeline);
+// Health carries the node's vitals.
 type RenewRequest struct {
-	V          int    `json:"v"`
-	Node       string `json:"node"`
-	App        string `json:"app"`
-	Key        uint64 `json:"key"`
-	Term       uint64 `json:"term"`
-	Iterations int    `json:"iterations,omitempty"`
+	V          int                     `json:"v"`
+	Node       string                  `json:"node"`
+	App        string                  `json:"app"`
+	Key        uint64                  `json:"key"`
+	Term       uint64                  `json:"term"`
+	Iterations int                     `json:"iterations,omitempty"`
+	Span       *telemetry.SpanSnapshot `json:"span,omitempty"`
+	Health     *NodeHealth             `json:"health,omitempty"`
 }
 
 // RenewResponse: OK=false means the lease is lost (expired and
@@ -156,6 +180,11 @@ type RolloutRequest struct {
 	Term    uint64            `json:"term"`
 	Version int               `json:"version"`
 	Chain   [][]symex.SiteKey `json:"chain"`
+	// Sites/CostBytes attribute the version's recording-set cost (site
+	// count, estimated per-occurrence bytes) to the overhead
+	// accountant's (app, version) ledger cell.
+	Sites     int   `json:"sites,omitempty"`
+	CostBytes int64 `json:"cost_bytes,omitempty"`
 }
 
 // RolloutResponse acknowledges (or fences) a rollout.
@@ -173,6 +202,11 @@ type ResolveRequest struct {
 	Key    uint64       `json:"key"`
 	Term   uint64       `json:"term"`
 	Report *core.Report `json:"report"`
+	// Span is the node's finished replay span tree for this lease —
+	// the final remote subtree of the bucket timeline, persisted with
+	// the resolution so stitched timelines survive coordinator
+	// restarts.
+	Span *telemetry.SpanSnapshot `json:"span,omitempty"`
 }
 
 // ResolveResponse acknowledges (or fences) a resolution.
@@ -224,11 +258,15 @@ type VerdictsResponse struct {
 	Buckets []BucketVerdict `json:"buckets"`
 }
 
-// NodeInfo is one triage node's liveness row.
+// NodeInfo is one triage node's liveness row, including the vitals
+// the node piggybacks on heartbeats.
 type NodeInfo struct {
-	Name     string `json:"name"`
-	Leases   int    `json:"leases"`
-	LastSeen string `json:"last_seen"`
+	Name       string `json:"name"`
+	Leases     int    `json:"leases"`
+	LastSeen   string `json:"last_seen"`
+	Goroutines int    `json:"goroutines,omitempty"`
+	HeapBytes  uint64 `json:"heap_bytes,omitempty"`
+	Buckets    int    `json:"buckets,omitempty"`
 }
 
 // ClusterSnapshot is the coordinator's cluster section of /debug/er

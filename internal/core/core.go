@@ -131,6 +131,12 @@ type Config struct {
 	// verdict). Drivers may attach their own children (ingest,
 	// decode, reoccurrence-wait) via Pipeline.Span.
 	Tracer *telemetry.Tracer
+	// ParentSpan, when set with Tracer, makes the pipeline's root
+	// "reconstruction" span a child of it instead of a fresh root —
+	// how a remote triage node hangs its replay under the
+	// coordinator's per-bucket timeline (the caller Ends the parent
+	// to publish the tree).
+	ParentSpan *telemetry.Span
 	// Absint enables the abstract-interpretation layer
 	// (internal/absint) across the loop: every solver query — fresh or
 	// incremental-session — first runs the interval + known-bits

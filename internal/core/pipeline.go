@@ -98,13 +98,21 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if err := cfg.Module.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid module: %w", err)
 	}
+	var root *telemetry.Span
+	if cfg.ParentSpan != nil {
+		// Hang the reconstruction under the caller's span (e.g. a triage
+		// node's remote replay root) instead of starting a fresh trace.
+		root = cfg.ParentSpan.Child("reconstruction", telemetry.A("entry", cfg.Entry))
+	} else {
+		root = cfg.Tracer.Start("reconstruction", telemetry.A("entry", cfg.Entry))
+	}
 	p := &Pipeline{
 		cfg:       cfg,
 		deployed:  cfg.Module,
 		rep:       &Report{},
 		deferLeft: cfg.DeferTracing,
 		tel:       newPipelineTelemetry(cfg.Telemetry),
-		root:      cfg.Tracer.Start("reconstruction", telemetry.A("entry", cfg.Entry)),
+		root:      root,
 		stop:      solver.NewCancel(nil),
 	}
 	if cfg.StaticSlice {

@@ -151,6 +151,16 @@ type Options struct {
 	// reoccurrence-wait and decode children. Recent finished trees are
 	// exposed on the introspection endpoint's /debug/er.
 	Tracer *telemetry.Tracer
+	// Journal, when set, receives the fleet's structured events —
+	// archive/spill failures that were previously silent log lines —
+	// and backs the introspection endpoint's /debug/er/events drain.
+	Journal *telemetry.Journal
+	// Overhead, when set, is the recording-overhead accountant: every
+	// production machine reports its run wall times to it (attributed
+	// by app and deployment version), rollouts attribute their
+	// recording-set cost, and the introspection endpoint embeds its
+	// ledger in /debug/er.
+	Overhead *telemetry.Overhead
 	// ListenAddr, when non-empty, serves the live introspection
 	// endpoint while the fleet runs: GET /metrics (Prometheus text
 	// format 0.0.4 of the Telemetry registry) and GET /debug/er (JSON
@@ -329,6 +339,7 @@ func New(apps []App, opts Options) (*Fleet, error) {
 				RingSize: o.RingSize,
 				Pace:     o.Pace,
 				Trace:    true,
+				Overhead: o.Overhead,
 			}
 			mc.Deploy(prod.Deployment{Module: a.Module, Version: 0})
 			g.machines = append(g.machines, mc)
@@ -375,6 +386,8 @@ func (f *Fleet) Start() error {
 		srv, err := telemetry.Serve(f.opts.ListenAddr, telemetry.ServerOptions{
 			Registry: f.opts.Telemetry,
 			Tracer:   f.opts.Tracer,
+			Journal:  f.opts.Journal,
+			Overhead: f.opts.Overhead,
 			Debug:    func() interface{} { return f.Snapshot() },
 			Pprof:    f.opts.Pprof,
 		})
@@ -436,6 +449,11 @@ func (f *Fleet) drainShard(s int) {
 				}, msg.Ring)
 				if err != nil {
 					b.badDrops.Add(1)
+					// In remote mode the archive is the only delivery
+					// path, so a failed append silently loses the
+					// occurrence — journal it at error level.
+					f.opts.Journal.Log(telemetry.LevelError, "fleet", "archive append failed; occurrence lost",
+						telemetry.A("app", b.App), telemetry.A("bucket", b.ID), telemetry.A("err", err))
 					f.logf("fleet: bucket %d (%s): archive append: %v", b.ID, b.App, err)
 					continue
 				}
@@ -451,6 +469,8 @@ func (f *Fleet) drainShard(s int) {
 					Seed: msg.Seed, Instrs: msg.Instrs,
 				}, msg.Ring)
 				if err != nil {
+					f.opts.Journal.Log(telemetry.LevelWarn, "fleet", "archive append failed; occurrence stays RAM-only",
+						telemetry.A("app", b.App), telemetry.A("bucket", b.ID), telemetry.A("err", err))
 					f.logf("fleet: bucket %d (%s): archive append: %v", b.ID, b.App, err)
 				} else {
 					archived = true
@@ -622,6 +642,18 @@ func (f *Fleet) feedOccurrence(b *Bucket, g *appGroup, p *core.Pipeline, occ *co
 		for _, m := range g.machines {
 			m.Deploy(dep)
 		}
+		if f.opts.Overhead != nil {
+			// Attribute the new version's recording-set cost
+			// (cumulative across the chain) to the overhead ledger.
+			sites, cost := 0, int64(0)
+			for _, it := range p.Report().Iterations {
+				if len(it.Sites) > 0 {
+					sites += len(it.Sites)
+					cost += it.RecordingCost
+				}
+			}
+			f.opts.Overhead.SetRecordingCost(b.App, p.Version(), sites, cost)
+		}
 		f.logf("fleet: bucket %d (%s): rolled out instrumented deployment v%d",
 			b.ID, b.App, p.Version())
 	}
@@ -647,6 +679,9 @@ func (f *Fleet) replaySpilled(b *Bucket, version int) (*core.Occurrence, bool) {
 		r, err := st.OpenEvents(key, seq)
 		if err != nil {
 			b.badDrops.Add(1)
+			f.opts.Journal.Log(telemetry.LevelWarn, "fleet", "spilled occurrence unreadable; dropped",
+				telemetry.A("app", b.App), telemetry.A("bucket", b.ID),
+				telemetry.A("seq", seq), telemetry.A("err", err))
 			f.logf("fleet: bucket %d (%s): spilled record %d unreadable: %v", b.ID, b.App, seq, err)
 			continue
 		}

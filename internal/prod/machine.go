@@ -7,6 +7,7 @@ import (
 
 	"execrecon/internal/ir"
 	"execrecon/internal/pt"
+	"execrecon/internal/telemetry"
 	"execrecon/internal/vm"
 )
 
@@ -80,6 +81,11 @@ type Machine struct {
 	// false the machine only observes failures (deferred-tracing
 	// fleets) and ships messages with a nil Ring.
 	Trace bool
+	// Overhead, when set, receives every run's wall time attributed
+	// to (App, deployment version, traced?) — the raw material of the
+	// recording-overhead SLO accounting. Nil disables (no timing
+	// syscalls on the run path).
+	Overhead *telemetry.Overhead
 
 	dep     atomic.Pointer[Deployment]
 	runs    atomic.Int64
@@ -157,7 +163,14 @@ func (m *Machine) Serve(ctx context.Context) {
 		if enc != nil {
 			tracer = enc
 		}
+		var runStart time.Time
+		if m.Overhead != nil {
+			runStart = time.Now()
+		}
 		res := vm.New(d.Module, vm.Config{Input: w, Tracer: tracer, Seed: seed}).Run(entry)
+		if m.Overhead != nil {
+			m.Overhead.RecordRun(m.App, d.Version, enc != nil, time.Since(runStart))
+		}
 		m.runs.Add(1)
 		if res.Failure != nil {
 			m.fails.Add(1)

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -22,6 +23,18 @@ type ServerOptions struct {
 	// is embedded as the "state" section — the hook fleet uses to dump
 	// per-bucket pipeline state.
 	Debug func() interface{}
+	// Journal backs /debug/er/events (JSONL drain, ?level= and ?n=
+	// filters) and the "events" summary of /debug/er. Nil serves an
+	// empty drain.
+	Journal *Journal
+	// Overhead, when set, embeds the recording-overhead ledger as the
+	// "overhead" section of /debug/er — including the per-version
+	// over-budget flags the SLO gate latches.
+	Overhead *Overhead
+	// Timeline, when set, backs /debug/er/timeline — the cluster
+	// coordinator serves its stitched per-bucket timelines through
+	// this hook.
+	Timeline func() interface{}
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
 	// Extend, when set, is called with the mux after the standard
@@ -48,17 +61,60 @@ func NewHandler(opts ServerOptions) http.Handler {
 	mux.HandleFunc("/debug/er", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		payload := struct {
-			Time    time.Time        `json:"time"`
-			State   interface{}      `json:"state,omitempty"`
-			Metrics []FamilySnapshot `json:"metrics"`
-			Spans   []SpanSnapshot   `json:"spans,omitempty"`
+			Time     time.Time        `json:"time"`
+			State    interface{}      `json:"state,omitempty"`
+			Metrics  []FamilySnapshot `json:"metrics"`
+			Spans    []SpanSnapshot   `json:"spans,omitempty"`
+			Events   *[4]uint64       `json:"events,omitempty"`
+			Overhead []OverheadRow    `json:"overhead,omitempty"`
 		}{Time: time.Now(), Metrics: opts.Registry.Snapshot(), Spans: opts.Tracer.Recent()}
 		if opts.Debug != nil {
 			payload.State = opts.Debug()
 		}
+		if opts.Journal != nil {
+			counts := opts.Journal.Counts()
+			payload.Events = &counts
+		}
+		if opts.Overhead != nil {
+			payload.Overhead = opts.Overhead.Snapshot()
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/er/events", func(w http.ResponseWriter, r *http.Request) {
+		min := LevelDebug
+		if s := r.URL.Query().Get("level"); s != "" {
+			l, err := ParseLevel(s)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			min = l
+		}
+		max := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, fmt.Sprintf("bad n %q", s), http.StatusBadRequest)
+				return
+			}
+			max = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = WriteJSONL(w, opts.Journal.Recent(min, max))
+	})
+	mux.HandleFunc("/debug/er/timeline", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var state interface{}
+		if opts.Timeline != nil {
+			state = opts.Timeline()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(state); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -1,0 +1,303 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Journal is the structured event log of the reconstruction service:
+// a bounded, lock-sharded ring of leveled events with per-event
+// attributes, replacing the codebase's silent-failure paths (sweeper
+// WAL errors, node fetch/decode failures, archive drops). Events are
+// drained over HTTP at /debug/er/events as JSONL and can be tee'd to
+// a writer (erd -log-json) as they are emitted.
+//
+// The concurrency contract matches the metrics registry: emission is
+// lock-sharded so concurrent producers rarely contend, reads merge
+// the shards by sequence number, and every method is nil-receiver
+// safe so instrumented code pays one predictable branch when the
+// journal is off.
+
+// Level classifies an event's severity.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+var levelNames = [...]string{"debug", "info", "warn", "error"}
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	if l < LevelDebug || l > LevelError {
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+	return levelNames[l]
+}
+
+// MarshalJSON encodes the level by name, matching what ParseLevel
+// accepts and what the JSONL drain prints.
+func (l Level) MarshalJSON() ([]byte, error) { return json.Marshal(l.String()) }
+
+// UnmarshalJSON accepts the name form.
+func (l *Level) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParseLevel(s)
+	if err != nil {
+		return err
+	}
+	*l = v
+	return nil
+}
+
+// ParseLevel maps a flag value ("debug", "info", "warn"/"warning",
+// "error") to a Level; the error names the valid set for CLI exit-2
+// messages.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("unknown log level %q (valid: debug, info, warn, error)", s)
+}
+
+// Event is one journal entry.
+type Event struct {
+	Seq       uint64            `json:"seq"`
+	Time      time.Time         `json:"time"`
+	Level     Level             `json:"level"`
+	Component string            `json:"component"`
+	Msg       string            `json:"msg"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
+}
+
+const journalShards = 8
+
+// DefaultKeepEvents is the journal's default total ring capacity.
+const DefaultKeepEvents = 1024
+
+type journalShard struct {
+	mu   sync.Mutex
+	ring []Event // ring, oldest first
+}
+
+// JournalOptions configures a journal.
+type JournalOptions struct {
+	// Keep bounds the total retained events (<= 0 uses
+	// DefaultKeepEvents).
+	Keep int
+	// Min drops events below this level at emission.
+	Min Level
+	// Tee, when set, receives every retained event as one JSON line
+	// at emission (serialized under an internal mutex).
+	Tee io.Writer
+}
+
+// Journal is a bounded, sharded, leveled event ring. The zero value
+// is not usable; construct with NewJournal. A nil *Journal is a
+// no-op sink.
+type Journal struct {
+	min        atomic.Int32
+	seq        atomic.Uint64
+	perShard   int
+	shards     [journalShards]journalShard
+	teeMu      sync.Mutex
+	tee        io.Writer
+	counts     [4]atomic.Uint64 // retained events per level
+	suppressed atomic.Uint64    // below-min events dropped at emission
+	now        func() time.Time
+}
+
+// NewJournal returns a journal retaining the last opts.Keep events.
+func NewJournal(opts JournalOptions) *Journal {
+	keep := opts.Keep
+	if keep <= 0 {
+		keep = DefaultKeepEvents
+	}
+	per := (keep + journalShards - 1) / journalShards
+	if per < 1 {
+		per = 1
+	}
+	j := &Journal{perShard: per, tee: opts.Tee, now: time.Now}
+	j.min.Store(int32(opts.Min))
+	return j
+}
+
+// SetClock overrides the journal's clock (tests only).
+func (j *Journal) SetClock(now func() time.Time) {
+	if j == nil || now == nil {
+		return
+	}
+	j.now = now
+}
+
+// SetMin adjusts the emission threshold at runtime.
+func (j *Journal) SetMin(l Level) {
+	if j == nil {
+		return
+	}
+	j.min.Store(int32(l))
+}
+
+// Min returns the current emission threshold (LevelError+1 — i.e.
+// "nothing passes" is unrepresentable; a nil journal reports
+// LevelError so Enabled is always false).
+func (j *Journal) Min() Level {
+	if j == nil {
+		return LevelError + 1
+	}
+	return Level(j.min.Load())
+}
+
+// Enabled reports whether an event at level l would be retained —
+// the guard for callers that build expensive attrs.
+func (j *Journal) Enabled(l Level) bool {
+	return j != nil && l >= Level(j.min.Load())
+}
+
+// Log records one event. Attrs are captured as given; the journal
+// copies them into its own map, so callers may reuse Attr slices.
+func (j *Journal) Log(l Level, component, msg string, attrs ...Attr) {
+	if j == nil {
+		return
+	}
+	if l < Level(j.min.Load()) {
+		j.suppressed.Add(1)
+		return
+	}
+	ev := Event{
+		Seq:       j.seq.Add(1),
+		Time:      j.now(),
+		Level:     l,
+		Component: component,
+		Msg:       msg,
+	}
+	if len(attrs) > 0 {
+		ev.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			ev.Attrs[a.Key] = a.Value
+		}
+	}
+	if l >= LevelDebug && l <= LevelError {
+		j.counts[l].Add(1)
+	}
+	sh := &j.shards[ev.Seq%journalShards]
+	sh.mu.Lock()
+	sh.ring = append(sh.ring, ev)
+	if len(sh.ring) > j.perShard {
+		sh.ring = sh.ring[len(sh.ring)-j.perShard:]
+	}
+	sh.mu.Unlock()
+	if j.tee != nil {
+		line, err := json.Marshal(ev)
+		if err == nil {
+			j.teeMu.Lock()
+			j.tee.Write(line)         //nolint:errcheck // best-effort tee
+			j.tee.Write([]byte{'\n'}) //nolint:errcheck
+			j.teeMu.Unlock()
+		}
+	}
+}
+
+// Logf records one event with a formatted message.
+func (j *Journal) Logf(l Level, component, format string, args ...interface{}) {
+	if !j.Enabled(l) {
+		if j != nil {
+			j.suppressed.Add(1)
+		}
+		return
+	}
+	j.Log(l, component, fmt.Sprintf(format, args...))
+}
+
+// Recent returns up to max retained events at or above min, in
+// sequence order (oldest first). max <= 0 means all retained.
+func (j *Journal) Recent(min Level, max int) []Event {
+	if j == nil {
+		return nil
+	}
+	var out []Event
+	for i := range j.shards {
+		sh := &j.shards[i]
+		sh.mu.Lock()
+		for _, ev := range sh.ring {
+			if ev.Level >= min {
+				out = append(out, ev)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// Counts returns how many events were retained per level over the
+// journal's lifetime (index by Level).
+func (j *Journal) Counts() [4]uint64 {
+	var c [4]uint64
+	if j == nil {
+		return c
+	}
+	for i := range c {
+		c[i] = j.counts[i].Load()
+	}
+	return c
+}
+
+// Emitted returns the journal's lifetime sequence counter (retained
+// events; below-threshold emissions don't consume sequence numbers).
+func (j *Journal) Emitted() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.seq.Load()
+}
+
+// RegisterMetrics exposes the journal's lifetime counters on a
+// registry as er_journal_events_total{level=...}.
+func (j *Journal) RegisterMetrics(r *Registry) {
+	if j == nil || r == nil {
+		return
+	}
+	for l := LevelDebug; l <= LevelError; l++ {
+		l := l
+		r.CounterFunc("er_journal_events_total", "journal events retained by level",
+			func() float64 { return float64(j.counts[l].Load()) }, L("level", l.String()))
+	}
+}
+
+// WriteJSONL renders events one JSON object per line — the
+// /debug/er/events drain format and the -log-json tee format.
+func WriteJSONL(w io.Writer, events []Event) error {
+	for _, ev := range events {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Level
+		ok   bool
+	}{
+		{"debug", LevelDebug, true},
+		{"info", LevelInfo, true},
+		{"warn", LevelWarn, true},
+		{"warning", LevelWarn, true},
+		{"error", LevelError, true},
+		{" Error ", LevelError, true},
+		{"INFO", LevelInfo, true},
+		{"", LevelInfo, false},
+		{"verbose", LevelInfo, false},
+		{"2", LevelInfo, false},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseLevel(%q) accepted, want error", c.in)
+		}
+	}
+}
+
+func TestJournalLevelFilterAndCounts(t *testing.T) {
+	j := NewJournal(JournalOptions{Min: LevelWarn})
+	j.Log(LevelDebug, "c", "dropped")
+	j.Log(LevelInfo, "c", "dropped too")
+	j.Log(LevelWarn, "c", "kept", A("k", "v"))
+	j.Log(LevelError, "c", "kept too")
+	if got := j.Emitted(); got != 2 {
+		t.Errorf("Emitted = %d, want 2 (below-min events must not consume seqs)", got)
+	}
+	counts := j.Counts()
+	if counts[LevelWarn] != 1 || counts[LevelError] != 1 || counts[LevelDebug] != 0 || counts[LevelInfo] != 0 {
+		t.Errorf("Counts = %v", counts)
+	}
+	evs := j.Recent(LevelDebug, 0)
+	if len(evs) != 2 {
+		t.Fatalf("Recent = %d events, want 2: %+v", len(evs), evs)
+	}
+	if evs[0].Msg != "kept" || evs[0].Attrs["k"] != "v" || evs[1].Msg != "kept too" {
+		t.Errorf("Recent order/content wrong: %+v", evs)
+	}
+	if evs[0].Seq >= evs[1].Seq {
+		t.Errorf("events out of sequence order: %d then %d", evs[0].Seq, evs[1].Seq)
+	}
+	// Raising the floor at runtime suppresses; Enabled agrees.
+	j.SetMin(LevelError)
+	if j.Enabled(LevelWarn) || !j.Enabled(LevelError) {
+		t.Errorf("Enabled disagrees with SetMin(LevelError)")
+	}
+	j.Log(LevelWarn, "c", "late drop")
+	if got := len(j.Recent(LevelDebug, 0)); got != 2 {
+		t.Errorf("Recent after SetMin = %d events, want 2", got)
+	}
+}
+
+func TestJournalRingBound(t *testing.T) {
+	const keep = 16
+	j := NewJournal(JournalOptions{Keep: keep})
+	for i := 0; i < 10*keep; i++ {
+		j.Log(LevelInfo, "c", fmt.Sprintf("ev-%d", i))
+	}
+	evs := j.Recent(LevelDebug, 0)
+	// Sharded ring: per-shard bound is ceil(keep/shards), so the total
+	// retained is within one shard's capacity of keep.
+	if len(evs) == 0 || len(evs) > keep+journalShards {
+		t.Fatalf("retained %d events, want (0, %d]", len(evs), keep+journalShards)
+	}
+	// The newest events survive.
+	last := evs[len(evs)-1]
+	if last.Msg != fmt.Sprintf("ev-%d", 10*keep-1) {
+		t.Errorf("newest retained = %q", last.Msg)
+	}
+	if got := j.Recent(LevelDebug, 4); len(got) != 4 {
+		t.Errorf("Recent(max=4) = %d events", len(got))
+	}
+}
+
+func TestJournalNilReceiver(t *testing.T) {
+	var j *Journal
+	// Every method must be a no-op, not a panic: instrumented code
+	// calls these unconditionally when the journal is disabled.
+	j.Log(LevelError, "c", "msg", A("k", "v"))
+	j.Logf(LevelError, "c", "%d", 1)
+	j.SetMin(LevelDebug)
+	j.SetClock(time.Now)
+	j.RegisterMetrics(New())
+	j.RegisterMetrics(nil)
+	if j.Enabled(LevelError) {
+		t.Error("nil journal reports Enabled")
+	}
+	if got := j.Recent(LevelDebug, 0); got != nil {
+		t.Errorf("nil journal Recent = %v", got)
+	}
+	if j.Counts() != [4]uint64{} {
+		t.Errorf("nil journal Counts = %v", j.Counts())
+	}
+	if j.Emitted() != 0 {
+		t.Errorf("nil journal Emitted = %d", j.Emitted())
+	}
+	if j.Min() <= LevelError {
+		t.Errorf("nil journal Min = %v, want above LevelError", j.Min())
+	}
+}
+
+func TestJournalTeeJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(JournalOptions{Tee: &buf})
+	j.Log(LevelWarn, "sweeper", "lease expired", A("term", 3), A("node", "n1"))
+	j.Log(LevelInfo, "fleet", "bucket ingested")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("tee wrote %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("tee line not JSON: %v", err)
+	}
+	if ev.Level != LevelWarn || ev.Component != "sweeper" || ev.Attrs["term"] != "3" {
+		t.Errorf("tee event = %+v", ev)
+	}
+	// WriteJSONL must emit the identical format.
+	var out bytes.Buffer
+	if err := WriteJSONL(&out, j.Recent(LevelDebug, 0)); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if out.String() != buf.String() {
+		t.Errorf("WriteJSONL drain differs from tee:\n%q\n%q", out.String(), buf.String())
+	}
+}
+
+func TestJournalRegisterMetrics(t *testing.T) {
+	reg := New()
+	j := NewJournal(JournalOptions{})
+	j.RegisterMetrics(reg)
+	j.Log(LevelError, "c", "boom")
+	j.Log(LevelError, "c", "boom again")
+	j.Log(LevelInfo, "c", "fine")
+	fam, ok := reg.Family("er_journal_events_total")
+	if !ok {
+		t.Fatal("er_journal_events_total not registered")
+	}
+	got := map[string]float64{}
+	for _, s := range fam.Series {
+		for _, l := range s.Labels {
+			if l.Name == "level" {
+				got[l.Value] = s.Value
+			}
+		}
+	}
+	if got["error"] != 2 || got["info"] != 1 || got["debug"] != 0 || got["warn"] != 0 {
+		t.Errorf("er_journal_events_total = %v", got)
+	}
+}
+
+// TestJournalConcurrencyHammer drives concurrent producers across all
+// levels against concurrent readers — the -race acceptance test for
+// the lock-sharded ring.
+func TestJournalConcurrencyHammer(t *testing.T) {
+	j := NewJournal(JournalOptions{Keep: 64, Min: LevelInfo})
+	const producers = 8
+	const perProducer = 500
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers: drain, count, and re-assert the level floor while
+	// writes fly.
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				j.Recent(LevelDebug, 0)
+				j.Counts()
+				j.Enabled(LevelWarn)
+				if r == 0 {
+					j.SetMin(LevelInfo) // idempotent flip keeps the path hot
+				}
+			}
+		}(r)
+	}
+	for p := 0; p < producers; p++ {
+		writers.Add(1)
+		go func(p int) {
+			defer writers.Done()
+			for i := 0; i < perProducer; i++ {
+				j.Log(Level(i%4), "hammer", "event", A("p", p), A("i", i))
+			}
+		}(p)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	counts := j.Counts()
+	if counts[LevelDebug] != 0 {
+		t.Errorf("debug events retained under Min=info: %d", counts[LevelDebug])
+	}
+	// 3 of 4 levels pass the floor.
+	want := uint64(producers * perProducer * 3 / 4)
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != want {
+		t.Errorf("retained %d events, want %d", total, want)
+	}
+	if j.Emitted() != want {
+		t.Errorf("Emitted = %d, want %d", j.Emitted(), want)
+	}
+	evs := j.Recent(LevelDebug, 0)
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1].Seq >= evs[i].Seq {
+			t.Fatalf("Recent not in sequence order at %d: %d >= %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+)
+
+// Distributed trace identity. A reconstruction's life spans processes
+// — coordinator ingest/lease on one side, node replay/solve on the
+// other — so span trees carry a (TraceID, SpanID) context that
+// crosses the /v1/* wire envelopes and lets the coordinator stitch
+// remote subtrees back under the bucket's timeline.
+//
+// IDs are 64-bit: a per-process random base advanced by a golden-ratio
+// stride, so IDs never repeat within a process and collide across
+// processes only with ~2^-64 probability per pair. Zero is reserved
+// as "no id".
+
+// TraceID identifies one end-to-end bucket timeline.
+type TraceID uint64
+
+// SpanID identifies one span within a trace.
+type SpanID uint64
+
+// String renders the id as 16 lowercase hex digits (W3C-style).
+func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// String renders the id as 16 lowercase hex digits.
+func (id SpanID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// MarshalJSON encodes the id as a hex string: uint64 values above
+// 2^53 are not representable as JSON numbers, and hex matches what
+// the snapshot/debug endpoints print.
+func (id TraceID) MarshalJSON() ([]byte, error) { return json.Marshal(id.String()) }
+
+// UnmarshalJSON accepts the hex-string form.
+func (id *TraceID) UnmarshalJSON(b []byte) error {
+	v, err := unmarshalHexID(b)
+	*id = TraceID(v)
+	return err
+}
+
+// MarshalJSON encodes the id as a hex string.
+func (id SpanID) MarshalJSON() ([]byte, error) { return json.Marshal(id.String()) }
+
+// UnmarshalJSON accepts the hex-string form.
+func (id *SpanID) UnmarshalJSON(b []byte) error {
+	v, err := unmarshalHexID(b)
+	*id = SpanID(v)
+	return err
+}
+
+func unmarshalHexID(b []byte) (uint64, error) {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return 0, err
+	}
+	if s == "" {
+		return 0, nil
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(s, "%x", &v); err != nil {
+		return 0, fmt.Errorf("telemetry: bad trace/span id %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// SpanContext is the wire-portable identity of a span: enough for a
+// remote process to open children under it and for the origin to
+// re-attach their snapshots later.
+type SpanContext struct {
+	TraceID TraceID `json:"trace_id"`
+	SpanID  SpanID  `json:"span_id"`
+}
+
+// Valid reports whether the context names a real span.
+func (c SpanContext) Valid() bool { return c.TraceID != 0 && c.SpanID != 0 }
+
+var (
+	idBase    = rand.Uint64()
+	idCounter atomic.Uint64
+)
+
+// newID returns a process-unique nonzero 64-bit id.
+func newID() uint64 {
+	// Odd stride ⇒ full 2^64 cycle: no repeats for the process
+	// lifetime regardless of the random base.
+	const stride = 0x9e3779b97f4a7c15
+	id := idBase + idCounter.Add(1)*stride
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// NewTraceID mints a fresh trace id (used by subsystems that create
+// timelines without a live span, e.g. the cluster coordinator's
+// per-bucket timelines).
+func NewTraceID() TraceID { return TraceID(newID()) }
+
+func newSpanContext() SpanContext {
+	return SpanContext{TraceID: TraceID(newID()), SpanID: SpanID(newID())}
+}
+
+// Context returns the span's wire-portable identity (zero on nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.ctx
+}
+
+// StartRemote begins a root span parented under a span in another
+// process: the new span joins parent's trace and records parent's
+// SpanID, so the origin process can stitch this tree's snapshot back
+// under its own via Stitch. An invalid parent degrades to a plain
+// Start (fresh trace, no remote parent). Returns nil on a nil tracer.
+func (t *Tracer) StartRemote(name string, parent SpanContext, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, name: name, start: t.now(), attrs: attrs, ctx: newSpanContext()}
+	if parent.Valid() {
+		s.ctx.TraceID = parent.TraceID
+		s.remote = parent.SpanID
+	}
+	return s
+}
+
+// Drain returns the tracer's retained finished root trees, oldest
+// first, and clears the ring (the lifetime Finished counter is
+// preserved). Safe concurrently; nil-safe.
+func (t *Tracer) Drain() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.recent
+	t.recent = nil
+	return out
+}
+
+// Stitch reassembles a distributed trace from root snapshots gathered
+// across processes: any root whose ParentID names a span present in
+// another tree of the same trace is re-attached as that span's child.
+// Roots whose parent is absent (still running remotely, evicted, or
+// from an unrelated trace) stay top level. The inputs are not
+// mutated; children sort by start time for deterministic rendering.
+func Stitch(roots []SpanSnapshot) []SpanSnapshot {
+	type node struct {
+		sn       SpanSnapshot
+		children []*node
+		root     *node // the top-level tree this node currently belongs to
+	}
+	index := make(map[string]*node) // "trace/span" -> node
+	var convert func(sn SpanSnapshot, root *node) *node
+	convert = func(sn SpanSnapshot, root *node) *node {
+		n := &node{sn: sn}
+		n.sn.Children = nil
+		if root == nil {
+			root = n
+		}
+		n.root = root
+		if sn.TraceID != "" && sn.SpanID != "" {
+			index[sn.TraceID+"/"+sn.SpanID] = n
+		}
+		for _, c := range sn.Children {
+			n.children = append(n.children, convert(c, root))
+		}
+		return n
+	}
+	tops := make([]*node, 0, len(roots))
+	for _, r := range roots {
+		tops = append(tops, convert(r, nil))
+	}
+	owner := func(n *node) *node {
+		r := n.root
+		for r != r.root {
+			r = r.root
+		}
+		return r
+	}
+	attached := make(map[*node]bool)
+	for _, t := range tops {
+		if t.sn.ParentID == "" || t.sn.TraceID == "" {
+			continue
+		}
+		p, ok := index[t.sn.TraceID+"/"+t.sn.ParentID]
+		if !ok || owner(p) == t {
+			continue // absent parent, or attaching would close a cycle
+		}
+		p.children = append(p.children, t)
+		t.root = p.root
+		attached[t] = true
+	}
+	var render func(n *node) SpanSnapshot
+	render = func(n *node) SpanSnapshot {
+		sn := n.sn
+		sort.SliceStable(n.children, func(i, j int) bool {
+			return n.children[i].sn.Start.Before(n.children[j].sn.Start)
+		})
+		for _, c := range n.children {
+			sn.Children = append(sn.Children, render(c))
+		}
+		return sn
+	}
+	var out []SpanSnapshot
+	for _, t := range tops {
+		if attached[t] {
+			continue
+		}
+		out = append(out, render(t))
+	}
+	return out
+}

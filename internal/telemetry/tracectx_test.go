@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTraceIDJSONRoundTrip(t *testing.T) {
+	id := TraceID(0xdeadbeef01020304)
+	b, err := json.Marshal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"deadbeef01020304"` {
+		t.Errorf("TraceID JSON = %s", b)
+	}
+	var back TraceID
+	if err := json.Unmarshal(b, &back); err != nil || back != id {
+		t.Errorf("round-trip = %v, %v", back, err)
+	}
+	var sp SpanID
+	if err := json.Unmarshal([]byte(`"00000000000000ff"`), &sp); err != nil || sp != 0xff {
+		t.Errorf("SpanID unmarshal = %v, %v", sp, err)
+	}
+	// Empty string is "no id", not an error (omitted wire fields).
+	var zero TraceID
+	if err := json.Unmarshal([]byte(`""`), &zero); err != nil || zero != 0 {
+		t.Errorf("empty id = %v, %v", zero, err)
+	}
+	if err := json.Unmarshal([]byte(`"not hex"`), &back); err == nil {
+		t.Error("garbage id accepted")
+	}
+	if err := json.Unmarshal([]byte(`42`), &back); err == nil {
+		t.Error("numeric id accepted (wire ids are hex strings)")
+	}
+}
+
+func TestNewTraceIDUniqueNonzero(t *testing.T) {
+	seen := make(map[TraceID]bool, 10_000)
+	for i := 0; i < 10_000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("zero trace id minted (zero is reserved)")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %v after %d mints", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanContextValid(t *testing.T) {
+	if (SpanContext{}).Valid() {
+		t.Error("zero context valid")
+	}
+	if (SpanContext{TraceID: 1}).Valid() || (SpanContext{SpanID: 1}).Valid() {
+		t.Error("half-zero context valid")
+	}
+	if !(SpanContext{TraceID: 1, SpanID: 2}).Valid() {
+		t.Error("full context invalid")
+	}
+}
+
+func TestStartRemoteParenting(t *testing.T) {
+	tr := NewTracer(0)
+	parent := SpanContext{TraceID: 0xaaaa, SpanID: 0xbbbb}
+	s := tr.StartRemote("replay", parent, A("node", "n0"))
+	sn := s.Snapshot()
+	if sn.TraceID != parent.TraceID.String() {
+		t.Errorf("remote span trace = %s, want parent's %s", sn.TraceID, parent.TraceID)
+	}
+	if sn.ParentID != parent.SpanID.String() {
+		t.Errorf("remote span parent = %s, want %s", sn.ParentID, parent.SpanID)
+	}
+	if sn.SpanID == "" || sn.SpanID == parent.SpanID.String() {
+		t.Errorf("remote span id = %q", sn.SpanID)
+	}
+	// Local children inherit the remote-joined trace.
+	c := s.Child("reconstruction")
+	csn := c.Snapshot()
+	if csn.TraceID != parent.TraceID.String() {
+		t.Errorf("child trace = %s, want %s", csn.TraceID, parent.TraceID)
+	}
+	if csn.ParentID != sn.SpanID {
+		t.Errorf("child parent = %s, want %s", csn.ParentID, sn.SpanID)
+	}
+	c.End()
+	s.End()
+
+	// An invalid parent degrades to a fresh root trace.
+	orphan := NewTracer(0).StartRemote("replay", SpanContext{})
+	osn := orphan.Snapshot()
+	if osn.ParentID != "" {
+		t.Errorf("orphan has parent %s", osn.ParentID)
+	}
+	if osn.TraceID == "" || osn.TraceID == "0000000000000000" {
+		t.Errorf("orphan trace = %q, want fresh nonzero", osn.TraceID)
+	}
+
+	// Nil tracer: nil span, and the nil span degrades everywhere.
+	var nt *Tracer
+	if s := nt.StartRemote("x", parent); s != nil {
+		t.Errorf("nil tracer StartRemote = %v", s)
+	}
+}
+
+func TestTracerDrain(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 3; i++ {
+		tr.Start("root").End()
+	}
+	first := tr.Drain()
+	if len(first) != 3 {
+		t.Fatalf("Drain = %d trees, want 3", len(first))
+	}
+	if got := tr.Drain(); len(got) != 0 {
+		t.Errorf("second Drain = %d trees, want 0 (ring cleared)", len(got))
+	}
+	if tr.Finished() != 3 {
+		t.Errorf("Finished = %d after drain, want 3 (lifetime counter survives)", tr.Finished())
+	}
+	var nt *Tracer
+	if nt.Drain() != nil {
+		t.Error("nil tracer Drain != nil")
+	}
+}
+
+// TestStitch reassembles a coordinator-side skeleton and a node-side
+// replay tree shipped as separate snapshots — the cross-process
+// timeline path.
+func TestStitch(t *testing.T) {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	bucket := SpanSnapshot{
+		Name: "bucket", Start: base,
+		TraceID: TraceID(0x11).String(), SpanID: SpanID(0x22).String(),
+		Children: []SpanSnapshot{
+			{Name: "lease", Start: base.Add(time.Second), TraceID: TraceID(0x11).String()},
+		},
+	}
+	replay := SpanSnapshot{
+		Name: "replay", Start: base.Add(2 * time.Second),
+		TraceID: TraceID(0x11).String(), SpanID: SpanID(0x33).String(),
+		ParentID: SpanID(0x22).String(),
+		Children: []SpanSnapshot{{Name: "reconstruction", Start: base.Add(3 * time.Second)}},
+	}
+	unrelated := SpanSnapshot{
+		Name: "stray", TraceID: TraceID(0x99).String(),
+		SpanID: SpanID(0x01).String(), ParentID: SpanID(0x22).String(),
+	}
+
+	out := Stitch([]SpanSnapshot{bucket, replay, unrelated})
+	if len(out) != 2 {
+		t.Fatalf("Stitch kept %d roots, want 2 (bucket + unrelated): %+v", len(out), out)
+	}
+	root := out[0]
+	if root.Name != "bucket" || len(root.Children) != 2 {
+		t.Fatalf("stitched root = %+v", root)
+	}
+	// Children sort by start: lease first, then the attached replay.
+	if root.Children[0].Name != "lease" || root.Children[1].Name != "replay" {
+		t.Errorf("stitched order = %s, %s", root.Children[0].Name, root.Children[1].Name)
+	}
+	if len(root.Children[1].Children) != 1 || root.Children[1].Children[0].Name != "reconstruction" {
+		t.Errorf("replay subtree lost: %+v", root.Children[1])
+	}
+	// The stray root (same parent id, different trace) stays top level.
+	if out[1].Name != "stray" {
+		t.Errorf("unrelated root = %+v", out[1])
+	}
+	// Inputs are not mutated.
+	if len(bucket.Children) != 1 {
+		t.Errorf("Stitch mutated its input: %+v", bucket.Children)
+	}
+
+	// A self-parent cycle must not hang or attach.
+	cyc := SpanSnapshot{
+		Name: "cycle", TraceID: TraceID(0x55).String(),
+		SpanID: SpanID(0x66).String(), ParentID: SpanID(0x66).String(),
+	}
+	if got := Stitch([]SpanSnapshot{cyc}); len(got) != 1 || got[0].Name != "cycle" {
+		t.Errorf("cycle handling = %+v", got)
+	}
+}
